@@ -1,0 +1,62 @@
+"""Figure 7: relative bounding box computations (R+ normalized vs R*).
+
+The figure normalizes the R+-tree against the R*-tree because the PMR's
+bucket computations are about two orders of magnitude smaller. Claims:
+
+* the R+-tree performs fewer (or comparable) bounding box computations
+  than the R*-tree on almost every workload (disjointness prunes paths);
+* the PMR quadtree's bucket computations are so far below both that
+  normalized plotting is not feasible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import format_normalized, normalized_ranges
+from repro.harness.workloads import WORKLOAD_NAMES
+
+from benchmarks.conftest import write_result
+
+
+def test_figure7_reproduction(benchmark, all_county_stats):
+    ranges = benchmark.pedantic(
+        lambda: normalized_ranges(
+            all_county_stats, "bbox_comps", structures=("R+",), baseline="R*"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "figure7_bbox.txt",
+        format_normalized(
+            ranges, "Figure 7: relative bounding box computations", baseline="R*"
+        ),
+    )
+
+    by_workload = {r.workload: r for r in ranges}
+    assert set(by_workload) == set(WORKLOAD_NAMES)
+
+    # R+ <= R* on average for most workloads (disjointness prunes).
+    better = sum(1 for r in ranges if r.average <= 1.05)
+    assert better >= len(ranges) - 2, [(r.workload, r.average) for r in ranges]
+
+
+def test_pmr_bucket_comps_not_plottable(benchmark, all_county_stats):
+    """The paper's stated reason for excluding the PMR from Figure 7."""
+
+    def ratios():
+        out = []
+        for county, by_structure in all_county_stats.items():
+            for w in WORKLOAD_NAMES:
+                pmr = by_structure["PMR"][w].bbox_comps
+                rstar = by_structure["R*"][w].bbox_comps
+                if pmr > 0:
+                    out.append(rstar / pmr)
+        return out
+
+    values = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    assert values
+    avg = sum(values) / len(values)
+    assert avg > 20, f"average R*/PMR bbox ratio only {avg:.1f}"
+    assert min(values) > 5

@@ -1,0 +1,83 @@
+"""Maintenance workloads: the price of disjointness under deletion.
+
+Section 2: "The price paid for the disjointness is that in order to
+determine the area covered by a particular object, we have to retrieve
+all the cells that it occupies. This price is also paid when we want to
+delete an object. Fortunately, deletion is not so common."
+
+This benchmark deletes a fifth of a county from each structure and
+measures the per-deletion disk activity. The R*-tree removes exactly one
+entry (plus condensation); the R+-tree and PMR quadtree must chase every
+duplicated copy; the PMR additionally merges blocks back.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.harness import build_structure
+
+from benchmarks.conftest import write_result
+
+_cache = {}
+
+
+def _run(county_maps):
+    if "out" in _cache:
+        return _cache["out"]
+    cecil = county_maps["cecil"]
+    out = {}
+    for name in ("R*", "R+", "PMR"):
+        built = build_structure(name, cecil)
+        rng = random.Random(42)
+        victims = rng.sample(range(len(cecil)), k=len(cecil) // 5)
+
+        built.ctx.pool.clear()
+        before = built.ctx.counters.snapshot()
+        for seg_id in victims:
+            built.index.delete(seg_id)
+        delta = built.ctx.counters.since(before)
+
+        built.index.check_invariants()
+        out[name] = {
+            "deletions": len(victims),
+            "disk_per_delete": delta.disk_reads / len(victims),
+            "segcomps_per_delete": delta.segment_comps / len(victims),
+            "entries_left": built.index.entry_count(),
+        }
+    _cache["out"] = out
+    return out
+
+
+def test_deletion_workload(benchmark, county_maps):
+    out = benchmark.pedantic(lambda: _run(county_maps), rounds=1, iterations=1)
+    write_result(
+        "maintenance_delete.txt", "\n".join(f"{k}: {v}" for k, v in out.items())
+    )
+    for name, row in out.items():
+        assert row["disk_per_delete"] > 0, name
+
+
+def test_structures_survive_bulk_deletion(benchmark, county_maps):
+    """check_invariants already ran inside _run; assert the bookkeeping."""
+    out = benchmark.pedantic(lambda: _run(county_maps), rounds=1, iterations=1)
+    n = len(county_maps["cecil"])
+    expected_left = n - n // 5
+    assert out["R*"]["entries_left"] == expected_left
+    # The disjoint structures hold >= one entry per remaining segment.
+    assert out["R+"]["entries_left"] >= expected_left
+    assert out["PMR"]["entries_left"] >= expected_left
+
+
+def test_disjointness_deletion_price(benchmark, county_maps):
+    """The Section 2 claim: deleting from a disjoint structure costs more
+    (every copy must be found and removed; PMR also merges)."""
+    out = benchmark.pedantic(lambda: _run(county_maps), rounds=1, iterations=1)
+    assert (
+        out["PMR"]["disk_per_delete"] > out["R*"]["disk_per_delete"] * 0.8
+    ), out
+    # Segment-table activity: the quadtree's merge checks re-fetch
+    # geometry; the R*-tree touches each deleted segment once.
+    assert out["PMR"]["segcomps_per_delete"] >= out["R*"]["segcomps_per_delete"], out

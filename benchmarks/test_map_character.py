@@ -1,0 +1,89 @@
+"""Section 6's map-character observations.
+
+"Polygons in urban areas usually consisted of 5-6 line segments
+corresponding to a city block. On the other hand, in rural areas ...
+polygons have much higher line segment counts. For example ... the
+average polygon size that we encountered was 19 in Baltimore county (an
+urban and suburban mix) while it was 132 in Charles county (rural)."
+
+We assert the ordering and the rough magnitude of the ratio on the
+synthetic counties; the absolute sizes depend on the generator's lattice
+density and are recorded rather than pinned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import polygon_size_survey
+
+from benchmarks.conftest import write_result
+
+_cache = {}
+
+
+def _surveys(county_maps):
+    if "surveys" not in _cache:
+        _cache["surveys"] = {
+            name: polygon_size_survey(county_maps[name], samples=40)
+            for name in ("baltimore", "anne_arundel", "charles", "garrett")
+        }
+    return _cache["surveys"]
+
+
+def test_polygon_size_survey(benchmark, county_maps):
+    surveys = benchmark.pedantic(
+        lambda: _surveys(county_maps), rounds=1, iterations=1
+    )
+    write_result(
+        "polygon_sizes.txt", "\n".join(str(s) for s in surveys.values())
+    )
+    for s in surveys.values():
+        assert s.closed_inner_faces > 0, s
+
+
+def test_rural_polygons_much_larger_than_urban(benchmark, county_maps):
+    surveys = benchmark.pedantic(
+        lambda: _surveys(county_maps), rounds=1, iterations=1
+    )
+    urban = surveys["baltimore"].average_size
+    rural = surveys["charles"].average_size
+    # Paper ratio 132/19 ~ 7x; we require a clear multiple.
+    assert rural > 2.5 * urban, (urban, rural)
+
+
+def test_urban_polygons_are_blocks(benchmark, county_maps):
+    surveys = benchmark.pedantic(
+        lambda: _surveys(county_maps), rounds=1, iterations=1
+    )
+    # City blocks: small polygons, a handful of edges on average.
+    assert surveys["baltimore"].average_size < 25
+
+
+def test_exact_face_inventory_agrees_with_sampling(benchmark, county_maps):
+    """The complete polygonization (Euler-checked) must show the same
+    urban << rural character the sampled survey reports. Note the two
+    averages weight faces differently -- sampling is area-weighted (big
+    faces catch more query points), the inventory is per-face -- so we
+    compare directions, not values."""
+    from repro.data.faces import extract_faces
+
+    def run():
+        out = {}
+        for name in ("baltimore", "charles"):
+            fs = extract_faces(county_maps[name].segments)
+            assert fs.euler_consistent(), name
+            out[name] = {
+                "inner_faces": len(fs.inner_faces()),
+                "avg_size": fs.average_inner_size(),
+            }
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "face_inventory.txt", "\n".join(f"{k}: {v}" for k, v in out.items())
+    )
+    # Urban networks mesh into many small blocks; rural ones into fewer,
+    # larger polygons.
+    assert out["baltimore"]["inner_faces"] > out["charles"]["inner_faces"]
+    assert out["baltimore"]["avg_size"] < out["charles"]["avg_size"]

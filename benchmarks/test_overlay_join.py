@@ -1,0 +1,109 @@
+"""Map overlay (Section 7's untested claim).
+
+"If the results of the operations are to be composed with the results of
+other operations such as overlay of maps of different types, then the
+fact that the decomposition induced by the PMR quadtree is oriented so
+that the decomposition lines are always in the same positions makes it
+preferable to the R+-tree."
+
+We overlay a county's road network with a synthetic hydrography layer
+(meandering stream walks over the same 16K world) and compare the
+aligned quadtree join against the synchronized R*-tree join on all three
+metrics. The data-independent decomposition should spend dramatically
+less bounding-rectangle work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import quadtree_join, rtree_join
+from repro.data.generator import GeneratorSpec, generate_map
+from repro.harness import build_structure
+
+from benchmarks.conftest import SCALE, write_result
+
+_cache = {}
+
+
+def _hydro_layer(n_segments: int):
+    """A streams-only layer: sparse meandering walks, no street grid."""
+    return generate_map(
+        "hydrography",
+        GeneratorSpec(
+            kind="rural",
+            target_segments=n_segments,
+            seed=0xF10D,
+            background=0.0,
+            walk_fraction=1.0,
+            tandem_probability=0.0,
+        ),
+    )
+
+
+def _run(county_maps):
+    if "out" in _cache:
+        return _cache["out"]
+    roads = county_maps["charles"]
+    streams = _hydro_layer(max(200, len(roads) // 4))
+
+    out = {}
+
+    qa = build_structure("PMR", roads)
+    qb = build_structure("PMR", streams)
+    before = (
+        qa.ctx.counters.snapshot(),
+        qb.ctx.counters.snapshot(),
+    )
+    pairs_q = quadtree_join(qa.index, qb.index)
+    da = qa.ctx.counters.since(before[0])
+    db = qb.ctx.counters.since(before[1])
+    out["PMR x PMR"] = {
+        "pairs": len(pairs_q),
+        "disk": da.disk_reads + db.disk_reads,
+        "segment_comps": da.segment_comps + db.segment_comps,
+        "bounding_comps": da.bbox_comps + db.bbox_comps,
+    }
+
+    ra = build_structure("R*", roads)
+    rb = build_structure("R*", streams)
+    before = (
+        ra.ctx.counters.snapshot(),
+        rb.ctx.counters.snapshot(),
+    )
+    pairs_r = rtree_join(ra.index, rb.index)
+    da = ra.ctx.counters.since(before[0])
+    db = rb.ctx.counters.since(before[1])
+    out["R* x R*"] = {
+        "pairs": len(pairs_r),
+        "disk": da.disk_reads + db.disk_reads,
+        "segment_comps": da.segment_comps + db.segment_comps,
+        "bounding_comps": da.bbox_comps + db.bbox_comps,
+    }
+
+    assert pairs_q == pairs_r, "join algorithms disagree on the overlay"
+    _cache["out"] = out
+    return out
+
+
+def test_overlay_reproduction(benchmark, county_maps):
+    out = benchmark.pedantic(lambda: _run(county_maps), rounds=1, iterations=1)
+    write_result(
+        "overlay_join.txt", "\n".join(f"{k}: {v}" for k, v in out.items())
+    )
+    assert out["PMR x PMR"]["pairs"] == out["R* x R*"]["pairs"]
+    assert out["PMR x PMR"]["pairs"] > 0, "layers never cross; overlay is vacuous"
+
+
+def test_aligned_decomposition_beats_rtree_on_bounding_work(
+    benchmark, county_maps
+):
+    out = benchmark.pedantic(lambda: _run(county_maps), rounds=1, iterations=1)
+    q = out["PMR x PMR"]["bounding_comps"]
+    r = out["R* x R*"]["bounding_comps"]
+    assert q * 3 < r, (q, r)
+
+
+def test_overlay_disk_accesses_comparable_or_better(benchmark, county_maps):
+    out = benchmark.pedantic(lambda: _run(county_maps), rounds=1, iterations=1)
+    assert out["PMR x PMR"]["disk"] <= out["R* x R*"]["disk"] * 2.0, out

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario: overlaying a road layer with a hydrography layer.
+
+Every place a road crosses a stream needs a bridge or culvert in the
+county's asset register. That is a map overlay -- the operation the
+paper's concluding remarks single out as the PMR quadtree's home turf,
+because two quadtrees over the same world share their decomposition
+lines and can be joined in one aligned walk, while R-trees must test
+rectangle pairs all the way down.
+
+Run:  python examples/map_overlay.py
+"""
+
+from repro import PMRQuadtree, RStarTree, StorageContext, generate_county
+from repro.core.queries import quadtree_join, rtree_join
+from repro.data.generator import GeneratorSpec, generate_map
+
+
+def build(cls, segments):
+    ctx = StorageContext.create()
+    index = cls(ctx)
+    for seg_id in ctx.load_segments(segments):
+        index.insert(seg_id)
+    return index
+
+
+def main() -> None:
+    roads = generate_county("charles", scale=0.05)
+    streams = generate_map(
+        "streams",
+        GeneratorSpec(
+            kind="rural",
+            target_segments=len(roads) // 4,
+            seed=0xF10D,
+            background=0.0,
+            walk_fraction=1.0,
+        ),
+    )
+    print(f"roads: {len(roads)} segments; streams: {len(streams)} segments\n")
+
+    # --- aligned quadtree overlay ------------------------------------
+    q_roads = build(PMRQuadtree, roads.segments)
+    q_streams = build(PMRQuadtree, streams.segments)
+    before = (q_roads.ctx.counters.snapshot(), q_streams.ctx.counters.snapshot())
+    crossings = quadtree_join(q_roads, q_streams)
+    dr = q_roads.ctx.counters.since(before[0])
+    ds = q_streams.ctx.counters.since(before[1])
+    print(f"PMR x PMR overlay: {len(crossings)} bridge sites")
+    print(
+        f"   {dr.disk_reads + ds.disk_reads} disk reads, "
+        f"{dr.segment_comps + ds.segment_comps} segment comparisons, "
+        f"{dr.bbox_comps + ds.bbox_comps} bucket reads"
+    )
+
+    # --- synchronized R-tree overlay ----------------------------------
+    r_roads = build(RStarTree, roads.segments)
+    r_streams = build(RStarTree, streams.segments)
+    before = (r_roads.ctx.counters.snapshot(), r_streams.ctx.counters.snapshot())
+    crossings_r = rtree_join(r_roads, r_streams)
+    dr = r_roads.ctx.counters.since(before[0])
+    ds = r_streams.ctx.counters.since(before[1])
+    print(f"\nR* x R* overlay:  {len(crossings_r)} bridge sites")
+    print(
+        f"   {dr.disk_reads + ds.disk_reads} disk reads, "
+        f"{dr.segment_comps + ds.segment_comps} segment comparisons, "
+        f"{dr.bbox_comps + ds.bbox_comps} bounding box tests"
+    )
+
+    assert crossings == crossings_r
+    print(
+        "\nIdentical answers; the aligned decomposition replaces hundreds of"
+        "\nthousands of rectangle-pair tests with a few thousand bucket reads"
+        "\n-- Section 7's argument for regular decompositions, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

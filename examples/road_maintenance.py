@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Scenario: a county road-maintenance dispatch system.
+
+Incident reports come in as map coordinates (potholes, downed trees).
+For each report the dispatcher needs:
+
+1. the nearest road segment (query 3) -- where to send the crew;
+2. the enclosing polygon (query 4) -- the block/parcel affected, used to
+   notify residents;
+3. every road within a closure radius (query 5 with a window) -- what to
+   put on the detour notice.
+
+The paper's result that matters here: for data-correlated incidents
+(reports cluster where roads are), the disjoint structures answer the
+nearest-road question with the fewest disk reads.
+"""
+
+import random
+
+from repro import (
+    PMRQuadtree,
+    Rect,
+    RPlusTree,
+    RStarTree,
+    StorageContext,
+    enclosing_polygon,
+    generate_county,
+    nearest_segment,
+    window_query,
+)
+from repro.data import two_stage_points
+
+
+def build(cls, segments, **kw):
+    ctx = StorageContext.create()
+    index = cls(ctx, **kw)
+    for seg_id in ctx.load_segments(segments):
+        index.insert(seg_id)
+    return index
+
+
+def main() -> None:
+    county = generate_county("anne_arundel", scale=0.05)
+    print(f"road network: {len(county)} segments ({county.name})")
+
+    pmr = build(PMRQuadtree, county.segments)
+    indexes = {
+        "PMR": pmr,
+        "R+": build(RPlusTree, county.segments),
+        "R*": build(RStarTree, county.segments),
+    }
+
+    # Incidents cluster where the roads are: the paper's 2-stage model.
+    rng = random.Random(42)
+    incidents = two_stage_points(50, rng, pmr)
+
+    print(f"\ndispatching {len(incidents)} incident reports...\n")
+    closure_radius = 400  # map pixels
+
+    for name, index in indexes.items():
+        ctx = index.ctx
+        ctx.pool.clear()
+        before = ctx.counters.snapshot()
+
+        blocks_notified = 0
+        roads_closed = 0
+        for p in incidents:
+            seg_id, dist2 = nearest_segment(index, p)
+            polygon = enclosing_polygon(index, p)
+            if polygon is not None and not polygon.is_outer:
+                blocks_notified += 1
+            window = Rect(
+                p.x - closure_radius,
+                p.y - closure_radius,
+                p.x + closure_radius,
+                p.y + closure_radius,
+            )
+            roads_closed += len(window_query(index, window))
+
+        delta = ctx.counters.since(before)
+        print(
+            f"{name:4s}: {delta.disk_reads / len(incidents):6.1f} disk reads"
+            f" and {delta.segment_comps / len(incidents):7.1f} segment"
+            f" comparisons per incident"
+            f"   ({blocks_notified} blocks notified,"
+            f" {roads_closed} road closures listed)"
+        )
+
+    print(
+        "\nAll three answer identically; the disjoint decompositions"
+        " (PMR, R+) read the fewest pages for clustered incidents."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""repro -- a reproduction of Hoel & Samet, "A Qualitative Comparison
+Study of Data Structures for Large Line Segment Databases" (SIGMOD 1992).
+
+The package implements, from scratch, the three disk-resident spatial
+indexes the paper compares (the R*-tree, the hybrid R+-tree, and the PMR
+quadtree stored as a linear quadtree in a paged B-tree), the storage
+substrate whose buffer-pool misses are the paper's "disk accesses", the
+five spatial queries of the study, a synthetic TIGER-like map generator,
+and a harness that regenerates every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import (
+        PMRQuadtree, Rect, StorageContext, generate_county, window_query,
+    )
+
+    county = generate_county("baltimore", scale=0.05)
+    ctx = StorageContext.create()          # 1 KiB pages, 16-page LRU pool
+    index = PMRQuadtree(ctx)               # or RStarTree / RPlusTree
+    for seg_id in ctx.load_segments(county.segments):
+        index.insert(seg_id)
+
+    hits = window_query(index, Rect(1000, 1000, 1160, 1160))
+    print(ctx.counters.disk_accesses, "potential disk accesses")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    GuttmanRTree,
+    KDBTree,
+    NNItem,
+    PM1Quadtree,
+    PM2Quadtree,
+    PM3Quadtree,
+    PMRQuadtree,
+    RPlusTree,
+    RStarTree,
+    SpatialIndex,
+    TrueRPlusTree,
+    UniformGrid,
+)
+from repro.core.interface import WORLD_DEPTH, WORLD_SIZE
+from repro.core.queries import (
+    PolygonResult,
+    enclosing_polygon,
+    iter_nearest,
+    nearest_segment,
+    segments_at_other_endpoint,
+    segments_at_point,
+    window_query,
+)
+from repro.data import (
+    COUNTY_NAMES,
+    MapData,
+    generate_county,
+    generate_map,
+    normalize_segments,
+)
+from repro.geometry import Point, Rect, Segment
+from repro.storage import BufferPool, DiskManager, MetricsCounters, StorageContext
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferPool",
+    "COUNTY_NAMES",
+    "DiskManager",
+    "GuttmanRTree",
+    "KDBTree",
+    "MapData",
+    "MetricsCounters",
+    "NNItem",
+    "PM1Quadtree",
+    "PM2Quadtree",
+    "PM3Quadtree",
+    "PMRQuadtree",
+    "Point",
+    "PolygonResult",
+    "RPlusTree",
+    "RStarTree",
+    "Rect",
+    "Segment",
+    "SpatialIndex",
+    "StorageContext",
+    "TrueRPlusTree",
+    "UniformGrid",
+    "WORLD_DEPTH",
+    "WORLD_SIZE",
+    "enclosing_polygon",
+    "generate_county",
+    "generate_map",
+    "iter_nearest",
+    "nearest_segment",
+    "normalize_segments",
+    "segments_at_other_endpoint",
+    "segments_at_point",
+    "window_query",
+    "__version__",
+]

@@ -1,0 +1,119 @@
+"""Command-line reproduction driver: ``python -m repro <experiment>``.
+
+Regenerates any of the paper's tables and figures from the terminal:
+
+    python -m repro table1                     # build statistics
+    python -m repro table2 --county charles    # per-query metrics
+    python -m repro figure6                    # page/buffer sweep
+    python -m repro figure7|figure8|figure9    # normalized ranges
+    python -m repro occupancy                  # Concluding Remarks
+    python -m repro generate --county cecil    # inspect a synthetic map
+
+``--scale`` is the fraction of the paper's ~50 000 segments per county
+(default 0.05); ``--queries`` the number of queries per workload
+(default 100; the paper used 1000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--queries", type=int, default=100)
+    parser.add_argument("--county", default="charles")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of Hoel & Samet, SIGMOD 1992.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in (
+        "table1",
+        "table2",
+        "figure6",
+        "figure7",
+        "figure8",
+        "figure9",
+        "occupancy",
+        "generate",
+        "report",
+    ):
+        p = sub.add_parser(name)
+        _add_common(p)
+        if name == "report":
+            p.add_argument("--out", default=None, help="write markdown here")
+    args = parser.parse_args(argv)
+
+    # Imports deferred so `--help` stays instant.
+    from repro.data import generate_county
+    from repro.harness import (
+        figure6_sweep,
+        format_figure6,
+        format_normalized,
+        format_occupancy,
+        format_table1,
+        format_table2,
+        normalized_ranges,
+        occupancy_report,
+        table1,
+    )
+    from repro.harness.normalized import collect_all_counties
+    from repro.harness.query_stats import county_query_stats
+
+    if args.command == "table1":
+        print(format_table1(table1(scale=args.scale)))
+    elif args.command == "table2":
+        stats = county_query_stats(
+            args.county, scale=args.scale, n_queries=args.queries
+        )
+        print(format_table2(stats, county=args.county))
+    elif args.command == "figure6":
+        cells = figure6_sweep(county=args.county, scale=args.scale)
+        print(format_figure6(cells))
+    elif args.command in ("figure7", "figure8", "figure9"):
+        per_county = collect_all_counties(scale=args.scale, n_queries=args.queries)
+        if args.command == "figure7":
+            ranges = normalized_ranges(
+                per_county, "bbox_comps", structures=("R+",), baseline="R*"
+            )
+            print(
+                format_normalized(
+                    ranges, "Figure 7: relative bounding box computations",
+                    baseline="R*",
+                )
+            )
+        elif args.command == "figure8":
+            ranges = normalized_ranges(per_county, "disk_accesses")
+            print(format_normalized(ranges, "Figure 8: relative disk accesses"))
+        else:
+            ranges = normalized_ranges(per_county, "segment_comps")
+            print(
+                format_normalized(ranges, "Figure 9: relative segment comparisons")
+            )
+    elif args.command == "occupancy":
+        print(format_occupancy(occupancy_report(county=args.county, scale=args.scale)))
+    elif args.command == "generate":
+        from repro.data.stats import map_statistics
+
+        m = generate_county(args.county, scale=args.scale)
+        print(map_statistics(m))
+    elif args.command == "report":
+        from repro.harness.report import full_report
+
+        text = full_report(
+            scale=args.scale, n_queries=args.queries, out_path=args.out
+        )
+        if args.out:
+            print(f"report written to {args.out}")
+        else:
+            print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Paged B+-tree substrate.
+
+The paper's PMR quadtree is implemented as a *linear quadtree*: the
+(locational code, segment pointer) 2-tuples of every leaf block are stored
+in a B-tree indexed on the locational code, at 8 bytes per tuple and about
+120 tuples per 1 KiB page. This package provides that B-tree, built on the
+:mod:`repro.storage` buffer pool so that every node touch is accounted as
+potential disk activity.
+"""
+
+from repro.btree.btree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,53 @@
+"""B+-tree page payloads.
+
+Nodes are plain Python objects living inside simulated disk pages; their
+capacities are derived from the page size in bytes (see
+:mod:`repro.storage.layout`), which is what keeps the simulation honest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+
+class LeafNode:
+    """A leaf page: sorted ``(key, value)`` entries plus a right-sibling link."""
+
+    __slots__ = ("entries", "next_page")
+
+    def __init__(
+        self,
+        entries: Optional[List[Tuple[Any, Any]]] = None,
+        next_page: Optional[int] = None,
+    ) -> None:
+        self.entries: List[Tuple[Any, Any]] = entries if entries is not None else []
+        self.next_page = next_page
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class InternalNode:
+    """An internal page: ``len(children) == len(keys) + 1``.
+
+    ``keys[i]`` is the smallest key reachable in ``children[i + 1]``'s
+    subtree, so a search for ``k`` descends into
+    ``children[bisect_right(keys, k)]``.
+    """
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: List[Any], children: List[int]) -> None:
+        self.keys = keys
+        self.children = children
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.children)

@@ -1,0 +1,37 @@
+"""The paper's subjects: three disk-resident spatial indexes and the query
+algorithms that run over them.
+
+* :class:`~repro.core.rtree.RStarTree` -- the R*-tree of Beckmann et al.
+* :class:`~repro.core.rplus.RPlusTree` -- the paper's hybrid R+-tree /
+  k-d-B-tree with disjoint non-leaf regions.
+* :class:`~repro.core.pmr.PMRQuadtree` -- the edge-based PMR quadtree
+  stored as a linear quadtree in a paged B-tree.
+* :class:`~repro.core.rtree.GuttmanRTree` -- the original R-tree (kept as a
+  baseline for the split-policy ablation).
+* :class:`~repro.core.kdb.KDBTree` -- the pure k-d-B-tree variant the
+  paper contrasts with its hybrid (Section 3).
+* :class:`~repro.core.grid.UniformGrid` -- the Section 2 uniform grid.
+* :mod:`~repro.core.queries` -- the five queries of Section 5.
+"""
+
+from repro.core.grid import UniformGrid
+from repro.core.interface import NNItem, SpatialIndex
+from repro.core.kdb import KDBTree
+from repro.core.pmr import PM1Quadtree, PM2Quadtree, PM3Quadtree, PMRQuadtree
+from repro.core.rplus import RPlusTree, TrueRPlusTree
+from repro.core.rtree import GuttmanRTree, RStarTree
+
+__all__ = [
+    "GuttmanRTree",
+    "KDBTree",
+    "NNItem",
+    "PM1Quadtree",
+    "PM2Quadtree",
+    "PM3Quadtree",
+    "PMRQuadtree",
+    "RPlusTree",
+    "RStarTree",
+    "SpatialIndex",
+    "TrueRPlusTree",
+    "UniformGrid",
+]

@@ -1,0 +1,167 @@
+"""The common interface all indexed structures implement.
+
+The five queries of the paper (Section 5) are written once, against this
+interface (:mod:`repro.core.queries`); each structure supplies candidate
+generation and incremental-nearest expansion, and charges its own metrics
+(disk accesses via its buffer pool, bounding box / bucket computations via
+``ctx.counters.bbox_comps``).
+
+Candidate methods may return duplicate segment ids (the disjoint
+structures store a segment once per block it crosses); the query layer
+deduplicates by id *before* fetching geometry, as any real implementation
+would, since the id is available in the node.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Iterable, List, NamedTuple, Union
+
+from repro.geometry import (
+    Point,
+    Rect,
+    Segment,
+    point_rect_distance2,
+    rect_rect_distance2,
+)
+from repro.storage.context import StorageContext
+
+#: The paper's world: maps are normalized to a 16K x 16K region (2^28 pixels).
+WORLD_SIZE = 16384
+WORLD_DEPTH = 14
+
+
+class SegmentQuery(NamedTuple):
+    """A segment used *as the query* of a nearest search (Section 2 also
+    motivates "the nearest line to a given ... line"). Carries the MBR so
+    index expansions do not recompute it per entry."""
+
+    segment: Segment
+    mbr: Rect
+
+    @classmethod
+    def of(cls, segment: Segment) -> "SegmentQuery":
+        return cls(segment, segment.mbr())
+
+
+#: What nearest-neighbour searches accept.
+NNQuery = Union[Point, SegmentQuery]
+
+
+def query_lower_bound(query: NNQuery, rect: Rect) -> float:
+    """Admissible lower bound on the squared distance from ``query`` to
+    anything inside ``rect`` -- MINDIST for points, MBR-to-rect distance
+    for segment queries."""
+    if isinstance(query, SegmentQuery):
+        return rect_rect_distance2(query.mbr, rect)
+    return point_rect_distance2(query, rect)
+
+
+class NNItem(NamedTuple):
+    """A priority-queue element for incremental nearest-neighbour search.
+
+    ``dist2`` is a lower bound on the squared distance from the query point
+    to anything reachable through ``ref``. ``is_segment`` distinguishes
+    data entries (``ref`` is a segment id) from index nodes (``ref`` is
+    structure-specific).
+    """
+
+    dist2: float
+    is_segment: bool
+    ref: Any
+
+
+class SpatialIndex(ABC):
+    """A disk-resident spatial index over a segment table.
+
+    Subclasses own a :class:`~repro.storage.context.StorageContext`; all
+    node traffic must flow through ``ctx.pool`` and all geometry access
+    through ``ctx.segments.fetch`` so the paper's three metrics are
+    collected faithfully.
+    """
+
+    #: Short display name used in tables ("R*", "R+", "PMR", ...).
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, ctx: StorageContext) -> None:
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def insert(self, seg_id: int) -> None:
+        """Index the segment already stored in the segment table."""
+
+    @abstractmethod
+    def delete(self, seg_id: int) -> None:
+        """Remove a segment from the index (not from the segment table)."""
+
+    def bulk_load(self, seg_ids: Iterable[int]) -> None:
+        """Insert many segments one by one (the paper builds dynamically)."""
+        for seg_id in seg_ids:
+            self.insert(seg_id)
+
+    # ------------------------------------------------------------------
+    # Candidate generation for the queries
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def candidate_ids_at_point(self, p: Point) -> List[int]:
+        """Ids of segments whose stored region/MBR contains ``p``.
+
+        May contain duplicates and false positives; never false negatives.
+        """
+
+    @abstractmethod
+    def candidate_ids_in_rect(self, r: Rect) -> List[int]:
+        """Ids of segments whose stored region/MBR meets ``r``.
+
+        May contain duplicates and false positives; never false negatives.
+        """
+
+    # ------------------------------------------------------------------
+    # Incremental nearest-neighbour expansion
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def nn_start(self, p: Point) -> List[NNItem]:
+        """Initial queue items (typically the root)."""
+
+    @abstractmethod
+    def nn_expand(self, ref: Any, p: Point) -> List[NNItem]:
+        """Expand a node reference previously produced by this index."""
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def page_count(self) -> int:
+        """Pages occupied by the index itself (segment table excluded)."""
+
+    @abstractmethod
+    def height(self) -> int:
+        """Levels of paged structure a cold search descends."""
+
+    @abstractmethod
+    def entry_count(self) -> int:
+        """Stored entries; exceeds the segment count for disjoint methods."""
+
+    def bytes_used(self) -> int:
+        """Index size as Table 1 counts it: whole pages, segment table excluded."""
+        return self.page_count() * self.ctx.page_size
+
+    @abstractmethod
+    def check_invariants(self) -> None:
+        """Validate structural invariants (test hook); raises AssertionError."""
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by implementations
+    # ------------------------------------------------------------------
+    @property
+    def counters(self):
+        return self.ctx.counters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} segments={len(self.ctx.segments)} "
+            f"pages={self.page_count()}>"
+        )

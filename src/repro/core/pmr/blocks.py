@@ -1,0 +1,88 @@
+"""The in-memory quadtree directory of a linear PMR quadtree.
+
+Only the *entries* of the PMR quadtree are disk-resident (in the B-tree);
+the block decomposition itself is navigational state. A pure linear
+quadtree recovers it from B-tree probes; we keep it as an explicit
+directory of lightweight blocks, which leaves the disk traffic identical
+(every entry read or write still goes through the B-tree) while making
+block navigation -- the paper's cheap "bounding bucket computations" --
+explicit and countable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.core.pmr.locational import locational_code
+from repro.geometry import Rect
+
+
+class PMRBlock:
+    """One quadtree block: a leaf bucket or an internal (split) block.
+
+    ``count`` is the number of q-edge entries stored under this block's
+    locational code in the B-tree; it is meaningful only for leaves.
+    Children are ordered SW, SE, NW, NE (Morton order).
+    """
+
+    __slots__ = ("depth", "bx", "by", "count", "children")
+
+    def __init__(self, depth: int, bx: int, by: int) -> None:
+        self.depth = depth
+        self.bx = bx
+        self.by = by
+        self.count = 0
+        self.children: Optional[List["PMRBlock"]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    def code(self, max_depth: int) -> int:
+        return locational_code(self.bx, self.by, self.depth, max_depth)
+
+    def rect(self, world_size: int) -> Rect:
+        size = world_size >> self.depth
+        x = self.bx * size
+        y = self.by * size
+        return Rect(x, y, x + size, y + size)
+
+    def split(self) -> List["PMRBlock"]:
+        """Create the four equal children (the caller moves the entries)."""
+        if self.children is not None:
+            raise ValueError("block is already split")
+        d = self.depth + 1
+        self.children = [
+            PMRBlock(d, 2 * self.bx, 2 * self.by),  # SW
+            PMRBlock(d, 2 * self.bx + 1, 2 * self.by),  # SE
+            PMRBlock(d, 2 * self.bx, 2 * self.by + 1),  # NW
+            PMRBlock(d, 2 * self.bx + 1, 2 * self.by + 1),  # NE
+        ]
+        self.count = 0
+        return self.children
+
+    def merge(self) -> None:
+        """Fold the children back into this block (caller moves entries)."""
+        if self.children is None:
+            raise ValueError("cannot merge a leaf")
+        self.children = None
+
+    def child_containing(self, x: float, y: float, world_size: int) -> "PMRBlock":
+        """The unique child whose half-open pixel region contains (x, y)."""
+        if self.children is None:
+            raise ValueError("leaf has no children")
+        half = world_size >> (self.depth + 1)
+        dx = 1 if x >= (2 * self.bx + 1) * half else 0
+        dy = 1 if y >= (2 * self.by + 1) * half else 0
+        return self.children[2 * dy + dx]
+
+    def iter_leaves(self) -> Iterator["PMRBlock"]:
+        if self.children is None:
+            yield self
+        else:
+            for child in self.children:
+                yield from child.iter_leaves()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"<PMRBlock {kind} d={self.depth} ({self.bx},{self.by}) n={self.count}>"

@@ -1,0 +1,388 @@
+"""The PMR quadtree (Nelson & Samet), as implemented in QUILT.
+
+Edge-based bucket quadtree with the probabilistic splitting rule:
+
+* a segment is inserted into every leaf block it intersects;
+* any affected block whose occupancy then *exceeds* the splitting
+  threshold is split **once, and only once** into four equal blocks
+  (children above the threshold do not split until a later insertion
+  touches them);
+* deletion removes the segment from every block it intersects, and a
+  split block whose children are all leaves holding fewer distinct
+  segments than the threshold is merged back, recursively.
+
+Storage is the paper's linear quadtree: each q-edge is an ``(L, O)``
+2-tuple in a paged B-tree keyed on the Morton locational code ``L`` (8
+bytes per tuple, about 120 per 1 KiB page). The in-memory block directory
+(:mod:`repro.core.pmr.blocks`) only navigates; every entry access goes
+through the B-tree and is therefore charged for disk activity.
+
+``store_bboxes=True`` builds the Section 6 variant that keeps a compressed
+per-segment bounding box in each tuple (12 bytes), trading storage for
+fewer segment comparisons; it is exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set, Tuple
+
+from repro.btree import BPlusTree
+from repro.core.interface import WORLD_DEPTH, WORLD_SIZE, NNItem, SpatialIndex, query_lower_bound
+from repro.core.pmr.blocks import PMRBlock
+from repro.core.pmr.locational import hilbert_code, locational_code
+from repro.geometry import Point, Rect, Segment
+from repro.storage.context import StorageContext
+from repro.storage.layout import (
+    BTREE_INTERNAL_ENTRY_BYTES,
+    BTREE_PAGE_HEADER_BYTES,
+    PMR_BBOX_EXTRA_BYTES,
+    PMR_TUPLE_BYTES,
+    entries_per_page,
+)
+
+#: Space-filling curves available for the locational codes. Both keep a
+#: block's descendants in one contiguous code interval, which the window
+#: decomposition and the linear-quadtree layout rely on.
+_CODE_FUNCTIONS = {"morton": locational_code, "hilbert": hilbert_code}
+
+
+class PMRQuadtree(SpatialIndex):
+    name = "PMR"
+
+    def __init__(
+        self,
+        ctx: StorageContext,
+        threshold: int = 4,
+        max_depth: int = WORLD_DEPTH,
+        world_size: int = WORLD_SIZE,
+        store_bboxes: bool = False,
+        curve: str = "morton",
+    ) -> None:
+        super().__init__(ctx)
+        if threshold < 1:
+            raise ValueError(f"splitting threshold must be >= 1, got {threshold}")
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if world_size & (world_size - 1):
+            raise ValueError(f"world_size must be a power of two, got {world_size}")
+        if curve not in _CODE_FUNCTIONS:
+            raise ValueError(
+                f"curve must be one of {sorted(_CODE_FUNCTIONS)}, got {curve!r}"
+            )
+        self.threshold = threshold
+        self.max_depth = max_depth
+        self.world_size = world_size
+        self.store_bboxes = store_bboxes
+        self.curve = curve
+        self._code_fn = _CODE_FUNCTIONS[curve]
+        entry_bytes = PMR_TUPLE_BYTES + (
+            PMR_BBOX_EXTRA_BYTES if store_bboxes else 0
+        )
+        cap = entries_per_page(ctx.page_size, entry_bytes, BTREE_PAGE_HEADER_BYTES)
+        internal_cap = entries_per_page(
+            ctx.page_size, BTREE_INTERNAL_ENTRY_BYTES, BTREE_PAGE_HEADER_BYTES
+        )
+        self.btree = BPlusTree(
+            ctx.pool, leaf_capacity=cap, internal_capacity=internal_cap
+        )
+        self.root = PMRBlock(0, 0, 0)
+        self._seg_count = 0
+
+    # ------------------------------------------------------------------
+    # Small helpers
+    # ------------------------------------------------------------------
+    def _code(self, block: PMRBlock) -> int:
+        return self._code_fn(block.bx, block.by, block.depth, self.max_depth)
+
+    def _rect(self, block: PMRBlock) -> Rect:
+        return block.rect(self.world_size)
+
+    def _value(self, seg_id: int, seg: Segment) -> Any:
+        if self.store_bboxes:
+            return (seg_id, tuple(seg.mbr()))
+        return seg_id
+
+    @staticmethod
+    def _seg_id_of(value: Any) -> int:
+        return value[0] if isinstance(value, tuple) else value
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert(self, seg_id: int) -> None:
+        seg = self.ctx.segments.fetch(seg_id)
+        value = self._value(seg_id, seg)
+        affected: List[PMRBlock] = []
+        self._insert_into(self.root, seg, value, affected)
+        for block in affected:
+            self._resolve_overflow(block)
+        self._seg_count += 1
+
+    def _insert_into(
+        self, block: PMRBlock, seg: Segment, value: Any, affected: List[PMRBlock]
+    ) -> None:
+        if block.children is not None:
+            for child in block.children:
+                if seg.intersects_rect(self._rect(child)):
+                    self._insert_into(child, seg, value, affected)
+            return
+        self.btree.insert(self._code(block), value)
+        block.count += 1
+        affected.append(block)
+
+    def _resolve_overflow(self, block: PMRBlock) -> None:
+        """The PMR splitting rule: an affected block whose occupancy now
+        exceeds the threshold is split **once, and only once** -- children
+        left above the threshold wait for the next insertion that touches
+        them. Subclasses (the PM family) override this with their own
+        decomposition criteria."""
+        if (
+            block.is_leaf
+            and block.count > self.threshold
+            and block.depth < self.max_depth
+        ):
+            self._split_block(block)
+
+    def _split_block(self, block: PMRBlock) -> None:
+        code = self._code(block)
+        values = self.btree.scan_eq(code)
+        for v in values:
+            self.btree.delete(code, v)
+        children = block.split()
+        child_rects = [self._rect(c) for c in children]
+        for v in values:
+            seg = self.ctx.segments.fetch(self._seg_id_of(v))
+            for child, rect in zip(children, child_rects):
+                if seg.intersects_rect(rect):
+                    self.btree.insert(self._code(child), v)
+                    child.count += 1
+
+    def delete(self, seg_id: int) -> None:
+        seg = self.ctx.segments.fetch(seg_id)
+        value = self._value(seg_id, seg)
+        removed = self._delete_from(self.root, seg, value)
+        if removed == 0:
+            raise KeyError(f"segment {seg_id} not in the quadtree")
+        self._seg_count -= 1
+
+    def _delete_from(self, block: PMRBlock, seg: Segment, value: Any) -> int:
+        if block.children is None:
+            code = self._code(block)
+            if self.btree.contains(code, value):
+                self.btree.delete(code, value)
+                block.count -= 1
+                return 1
+            return 0
+        removed = 0
+        for child in block.children:
+            if seg.intersects_rect(self._rect(child)):
+                removed += self._delete_from(child, seg, value)
+        if removed:
+            self._try_merge(block)
+        return removed
+
+    def _try_merge(self, block: PMRBlock) -> None:
+        """Merge the children back when the merged block would be legal
+        again (for the PMR: distinct occupancy below the threshold)."""
+        if block.children is None or not all(c.is_leaf for c in block.children):
+            return
+        distinct: Set[Any] = set()
+        for child in block.children:
+            distinct.update(self.btree.scan_eq(self._code(child)))
+        if not self._should_merge(block, distinct):
+            return
+        for child in block.children:
+            code = self._code(child)
+            for v in self.btree.scan_eq(code):
+                self.btree.delete(code, v)
+        block.merge()
+        code = self._code(block)
+        for v in sorted(distinct, key=self._seg_id_of):
+            self.btree.insert(code, v)
+        block.count = len(distinct)
+
+    def _should_merge(self, block: PMRBlock, distinct: Set[Any]) -> bool:
+        """The paper's rule: merge when the splitting threshold exceeds
+        the occupancy of the block and its siblings."""
+        return len(distinct) < self.threshold
+
+    # ------------------------------------------------------------------
+    # Searches
+    # ------------------------------------------------------------------
+    def _leaf_block_at(self, p: Point) -> PMRBlock:
+        """The unique leaf whose half-open pixel region contains ``p``."""
+        block = self.root
+        while block.children is not None:
+            block = block.child_containing(p.x, p.y, self.world_size)
+        return block
+
+    def candidate_ids_at_point(self, p: Point) -> List[int]:
+        block = self._leaf_block_at(p)
+        self.ctx.counters.bbox_comps += 1  # one bucket examined
+        values = self.btree.scan_eq(self._code(block))
+        if self.store_bboxes:
+            return [
+                v[0]
+                for v in values
+                if v[1][0] <= p.x <= v[1][2] and v[1][1] <= p.y <= v[1][3]
+            ]
+        return [self._seg_id_of(v) for v in values]
+
+    def candidate_ids_in_rect(self, rect: Rect) -> List[int]:
+        """Window decomposition in the style of Aref & Samet [1].
+
+        The directory is walked in Z-order; intersecting leaf buckets
+        whose locational-code intervals are contiguous form *runs*, and
+        each run is retrieved with a single B-tree interval scan. A
+        window therefore costs one descent per time the Z curve enters
+        the window, not one per bucket -- which is what makes the linear
+        quadtree competitive on range queries despite its many buckets.
+        """
+        intervals: List[List[int]] = []  # [lo, hi] code intervals
+
+        def walk(block: PMRBlock) -> None:
+            if block.children is not None:
+                for child in block.children:
+                    if self._rect(child).intersects(rect):
+                        walk(child)
+                return
+            lo = self._code(block)
+            intervals.append(
+                [lo, lo + (1 << (2 * (self.max_depth - block.depth))) - 1]
+            )
+
+        walk(self.root)
+        self.ctx.counters.bbox_comps += len(intervals)
+
+        # Coalesce adjacent code intervals into maximal runs. The DFS
+        # emits Z-order for Morton codes but not for Hilbert, so sort by
+        # code before merging.
+        intervals.sort()
+        runs: List[List[int]] = []
+        for lo, hi in intervals:
+            if runs and runs[-1][1] + 1 == lo:
+                runs[-1][1] = hi
+            else:
+                runs.append([lo, hi])
+
+        out: List[int] = []
+        for lo, hi in runs:
+            for _, v in self.btree.scan_range(lo, hi):
+                if self.store_bboxes:
+                    if Rect(v[1][0], v[1][1], v[1][2], v[1][3]).intersects(rect):
+                        out.append(v[0])
+                else:
+                    out.append(self._seg_id_of(v))
+        return out
+
+    def nn_start(self, p: Point) -> List[NNItem]:
+        return [NNItem(0.0, False, self.root)]
+
+    def nn_expand(self, ref: Any, p: Point) -> List[NNItem]:
+        block: PMRBlock = ref
+        if block.children is not None:
+            return [
+                NNItem(query_lower_bound(p, self._rect(c)), False, c)
+                for c in block.children
+            ]
+        self.ctx.counters.bbox_comps += 1  # bucket whose contents we examine
+        d_block = query_lower_bound(p, self._rect(block))
+        values = self.btree.scan_eq(self._code(block))
+        if self.store_bboxes:
+            return [
+                NNItem(
+                    query_lower_bound(p, Rect(*v[1])),
+                    True,
+                    v[0],
+                )
+                for v in values
+            ]
+        return [NNItem(d_block, True, self._seg_id_of(v)) for v in values]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def page_count(self) -> int:
+        return self.btree.page_count
+
+    def height(self) -> int:
+        return self.btree.height
+
+    def entry_count(self) -> int:
+        return len(self.btree)
+
+    def segment_count(self) -> int:
+        return self._seg_count
+
+    def leaf_blocks(self) -> List[PMRBlock]:
+        """All leaf blocks (used by the paper's 2-stage query-point model)."""
+        return list(self.root.iter_leaves())
+
+    def bucket_occupancy(self, include_empty: bool = False) -> float:
+        """Average q-edges per bucket (Concluding Remarks: about 0.5x)."""
+        leaves = self.leaf_blocks()
+        if not include_empty:
+            leaves = [b for b in leaves if b.count > 0]
+        if not leaves:
+            return 0.0
+        return sum(b.count for b in leaves) / len(leaves)
+
+    def depth(self) -> int:
+        """Depth of the deepest block in the decomposition."""
+        return max(b.depth for b in self.root.iter_leaves())
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _check_occupancy_bound(self, block: PMRBlock) -> None:
+        """Section 3's bound: a bucket holds at most threshold + depth
+        q-edges (max-depth blocks are exempt, they can never split)."""
+        if block.depth < self.max_depth:
+            assert block.count <= self.threshold + block.depth, (
+                "bucket exceeds the threshold + depth bound"
+            )
+
+    def check_invariants(self) -> None:
+        total = 0
+        seg_ids: Set[int] = set()
+        for block in self.root.iter_leaves():
+            values = self.btree.scan_eq(self._code(block))
+            assert len(values) == block.count, (
+                f"directory count {block.count} != B-tree count {len(values)} "
+                f"at block ({block.depth},{block.bx},{block.by})"
+            )
+            self._check_occupancy_bound(block)
+            total += len(values)
+            rect = self._rect(block)
+            for v in values:
+                seg_id = self._seg_id_of(v)
+                seg_ids.add(seg_id)
+                seg = self.ctx.segments.peek(seg_id)
+                assert seg.intersects_rect(rect), "q-edge outside its block"
+        assert total == len(self.btree), "directory/B-tree total mismatch"
+        assert len(seg_ids) == self._seg_count, "segment count mismatch"
+
+        # Completeness: every segment lives in every leaf block that a
+        # positive-length piece of it crosses. Descend only into blocks
+        # the segment's geometry touches, so the check stays near-linear
+        # and runs even on paper-scale structures.
+        for seg_id in seg_ids:
+            seg = self.ctx.segments.peek(seg_id)
+            self._check_complete(self.root, seg, seg_id)
+
+    def _check_complete(self, block: PMRBlock, seg: Segment, seg_id: int) -> None:
+        rect = self._rect(block)
+        if not seg.intersects_rect(rect):
+            return
+        if block.children is not None:
+            for child in block.children:
+                self._check_complete(child, seg, seg_id)
+            return
+        qedge = seg.clipped(rect)
+        if qedge is None or qedge.is_degenerate():
+            return
+        present = any(
+            self._seg_id_of(v) == seg_id
+            for v in self.btree.scan_eq(self._code(block))
+        )
+        assert present, f"segment {seg_id} missing from a crossed block"

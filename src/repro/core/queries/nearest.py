@@ -1,0 +1,116 @@
+"""Query 3: nearest line segment, by incremental best-first search.
+
+This is the Hjaltason-Samet priority-queue algorithm the paper cites (via
+[11]): a single heap holds index nodes (keyed by a lower bound on the
+distance to anything inside them), unverified segment candidates (keyed by
+the bound inherited from the node that produced them), and verified
+segments (keyed by their true distance). When a verified segment reaches
+the top of the heap nothing nearer can exist, so results stream out in
+distance order -- ``iter_nearest`` can be resumed for k-nearest queries at
+no extra cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.core.interface import NNQuery, SegmentQuery, SpatialIndex
+from repro.geometry import Point, Segment
+from repro.geometry.distance import segment_segment_distance2
+
+# Heap entry kinds. On distance ties, nodes expand and candidates verify
+# BEFORE any verified segment is yielded, and verified ties order by
+# segment id -- so exact ties (e.g. several segments meeting at the
+# vertex nearest to the query) resolve identically in every structure.
+_NODE = 0
+_CANDIDATE = 1
+_VERIFIED = 2
+
+
+def _true_distance2(query: NNQuery, seg: Segment) -> float:
+    if isinstance(query, SegmentQuery):
+        q = query.segment
+        return segment_segment_distance2(q.start, q.end, seg.start, seg.end)
+    return seg.distance2_to_point(query)
+
+
+def iter_nearest(
+    index: SpatialIndex, query: Union[Point, Segment, SegmentQuery]
+) -> Iterator[Tuple[int, float]]:
+    """Yield ``(seg_id, distance^2)`` in non-decreasing distance order.
+
+    ``query`` may be a point (the paper's query 3) or a segment (the
+    "nearest line to a given line" of Section 2); segment queries are
+    bounded by MBR-to-rectangle distances during the search.
+    """
+    if isinstance(query, Segment):
+        query = SegmentQuery.of(query)
+    tiebreak = count()
+    heap = []
+    for item in index.nn_start(query):
+        kind = _CANDIDATE if item.is_segment else _NODE
+        heapq.heappush(heap, (item.dist2, kind, next(tiebreak), item.ref))
+
+    resolved = set()
+    while heap:
+        dist2, kind, _, ref = heapq.heappop(heap)
+        if kind == _VERIFIED:
+            yield ref, dist2
+        elif kind == _CANDIDATE:
+            if ref in resolved:
+                continue
+            resolved.add(ref)
+            seg = index.ctx.segments.fetch(ref)
+            true_d2 = _true_distance2(query, seg)
+            heapq.heappush(heap, (true_d2, _VERIFIED, ref, ref))
+        else:
+            for item in index.nn_expand(ref, query):
+                child_kind = _CANDIDATE if item.is_segment else _NODE
+                if child_kind == _CANDIDATE and item.ref in resolved:
+                    continue
+                heapq.heappush(
+                    heap, (item.dist2, child_kind, next(tiebreak), item.ref)
+                )
+
+
+def nearest_segment(
+    index: SpatialIndex, p: Point
+) -> Optional[Tuple[int, float]]:
+    """**Query 3**: the nearest segment to ``p`` (or ``None`` if empty)."""
+    for seg_id, dist2 in iter_nearest(index, p):
+        return seg_id, dist2
+    return None
+
+
+def nearest_k_segments(
+    index: SpatialIndex, p: Point, k: int
+) -> "list[Tuple[int, float]]":
+    """The ``k`` nearest segments, by resuming the incremental search.
+
+    Costs no more than a single nearest-neighbour query plus the extra
+    expansion needed for the additional results -- the advantage of the
+    incremental formulation over repeated range guessing.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    out = []
+    for seg_id, dist2 in iter_nearest(index, p):
+        out.append((seg_id, dist2))
+        if len(out) == k:
+            break
+    return out
+
+
+def nearest_segment_to_segment(
+    index: SpatialIndex, query: Segment, exclude: Optional[int] = None
+) -> Optional[Tuple[int, float]]:
+    """Section 2's other proximity question: the stored segment nearest
+    to a *query segment* (e.g. "which other road runs closest to this
+    one?"). ``exclude`` skips an id, typically the query segment's own
+    when it is itself stored in the index."""
+    for seg_id, dist2 in iter_nearest(index, query):
+        if seg_id != exclude:
+            return seg_id, dist2
+    return None

@@ -1,0 +1,64 @@
+"""Queries 1 and 2: point-incidence searches.
+
+These are the paper's "more realistic" point queries: rather than
+returning the block containing a point, they return the segments
+*incident* at it. Candidates are deduplicated by id before their geometry
+is fetched (the id is stored in the node, so no real implementation would
+fetch a segment twice), then verified against the segment table -- each
+verification is one of the paper's segment comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.interface import SpatialIndex
+from repro.geometry import Point, Segment
+
+
+def incident_segments_with_geometry(
+    index: SpatialIndex, p: Point
+) -> List[Tuple[int, Segment]]:
+    """Segments incident at ``p``, with their fetched geometry.
+
+    The polygon traversal (query 4) calls this once per vertex and needs
+    the directions of the incident edges, so the fetched geometry is
+    returned rather than thrown away.
+    """
+    out: List[Tuple[int, Segment]] = []
+    seen = set()
+    for seg_id in index.candidate_ids_at_point(p):
+        if seg_id in seen:
+            continue
+        seen.add(seg_id)
+        seg = index.ctx.segments.fetch(seg_id)
+        if seg.has_endpoint(p):
+            out.append((seg_id, seg))
+    return out
+
+
+def segments_at_point(index: SpatialIndex, p: Point) -> List[int]:
+    """**Query 1**: ids of all segments with an endpoint at ``p``."""
+    return [seg_id for seg_id, _ in incident_segments_with_geometry(index, p)]
+
+
+def segments_at_other_endpoint(
+    index: SpatialIndex, p: Point, seg_id: int
+) -> Tuple[Point, List[int]]:
+    """**Query 2**: incidences at the other endpoint of a given segment.
+
+    ``p`` is one endpoint of segment ``seg_id``; the segment is located by
+    a point query at ``p`` (as the paper's formulation implies), then a
+    second point query runs at its other endpoint. Returns that endpoint
+    and the incident segment ids (excluding ``seg_id`` itself).
+    """
+    target = None
+    for sid, seg in incident_segments_with_geometry(index, p):
+        if sid == seg_id:
+            target = seg
+            break
+    if target is None:
+        raise KeyError(f"segment {seg_id} is not incident at {p!r}")
+    other = target.other_endpoint(p)
+    ids = segments_at_point(index, other)
+    return other, [sid for sid in ids if sid != seg_id]

@@ -1,0 +1,43 @@
+"""Query 5: the window (range) query."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.interface import SpatialIndex
+from repro.geometry import Rect
+
+
+def window_query(
+    index: SpatialIndex, window: Rect, mode: str = "intersects"
+) -> List[int]:
+    """**Query 5**: ids of all segments in the closed window.
+
+    ``mode`` selects the spatial predicate:
+
+    * ``"intersects"`` (the paper's reading: "find all roads that pass
+      through a given region") -- any part of the segment meets the
+      window;
+    * ``"contains"`` -- both endpoints lie inside the window (the
+      segment is entirely within it).
+
+    Candidates come from the index (R-tree traversal or the PMR window
+    decomposition over blocks); each unique candidate is verified against
+    its actual geometry, which is one segment comparison.
+    """
+    if mode not in ("intersects", "contains"):
+        raise ValueError(f"mode must be 'intersects' or 'contains', got {mode!r}")
+    out: List[int] = []
+    seen = set()
+    for seg_id in index.candidate_ids_in_rect(window):
+        if seg_id in seen:
+            continue
+        seen.add(seg_id)
+        seg = index.ctx.segments.fetch(seg_id)
+        if mode == "intersects":
+            if seg.intersects_rect(window):
+                out.append(seg_id)
+        else:
+            if window.contains_point(seg.start) and window.contains_point(seg.end):
+                out.append(seg_id)
+    return out

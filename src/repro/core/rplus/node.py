@@ -1,0 +1,23 @@
+"""R+-tree node payload (one node per disk page)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.geometry import Rect
+
+#: In non-leaf nodes entries are (partition region, child page id); the
+#: regions of one node tile its own region exactly (the k-d-B discipline
+#: the paper's hybrid adopts). In leaves entries are (segment MBR, seg id).
+Entry = Tuple[Rect, int]
+
+
+class RPlusNode:
+    __slots__ = ("is_leaf", "entries")
+
+    def __init__(self, is_leaf: bool, entries: List[Entry] = None) -> None:
+        self.is_leaf = is_leaf
+        self.entries: List[Entry] = entries if entries is not None else []
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,556 @@
+"""The hybrid R+-tree / k-d-B-tree used in the paper.
+
+Following Section 3 of Hoel & Samet:
+
+* Non-leaf entries carry the raw *partition* rectangles of the k-d-B-tree
+  (no minimum bounding rectangles above the leaves); sibling regions are
+  disjoint and tile the parent region exactly.
+* Leaf entries carry segment MBRs; a segment is stored in **every** leaf
+  whose region it intersects, so point search follows a single path.
+* A node is split by the axis-parallel line that cuts the fewest line
+  segments (bounding rectangles for non-leaf nodes); ties are broken by
+  the evenness of the resulting distribution.
+* Splitting a non-leaf region along a line forces every straddling child
+  to split by the same line, recursively (the k-d-B downward cascade).
+
+As the paper notes, minimum fill cannot be guaranteed: a downward cascade
+can produce nearly-empty (even empty) nodes, and a leaf whose segments all
+cross every candidate line cannot be usefully split. In the latter
+(pathological, never observed on road maps) case the leaf is left
+overfull, and :meth:`page_count` charges the overflow pages it would
+occupy on disk.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interface import WORLD_SIZE, NNItem, SpatialIndex, query_lower_bound
+from repro.core.rplus.node import Entry, RPlusNode
+from repro.geometry import Point, Rect, Segment
+from repro.storage.context import StorageContext
+from repro.storage.layout import (
+    RTREE_PAGE_HEADER_BYTES,
+    RTREE_TUPLE_BYTES,
+    entries_per_page,
+)
+
+#: A (region, page_id) pair describing one tile of a partitioned region.
+Piece = Tuple[Rect, int]
+
+
+def _split_region(region: Rect, axis: int, pos: float) -> Tuple[Rect, Rect]:
+    if axis == 0:
+        return (
+            Rect(region.xmin, region.ymin, pos, region.ymax),
+            Rect(pos, region.ymin, region.xmax, region.ymax),
+        )
+    return (
+        Rect(region.xmin, region.ymin, region.xmax, pos),
+        Rect(region.xmin, pos, region.xmax, region.ymax),
+    )
+
+
+def _clip_rect(r: Rect, region: Rect) -> Rect:
+    """Clip ``r`` to ``region`` (callers guarantee they intersect)."""
+    clipped = r.intersection(region)
+    return clipped if clipped is not None else r
+
+
+class RPlusTree(SpatialIndex):
+    name = "R+"
+
+    #: Available split-line rules. The paper: "The R+-tree implementations
+    #: described in the literature do not specify a splitting policy, and
+    #: it should be clear that there are a number of possible ways to
+    #: proceed." ``min_cut`` is the paper's choice (fewest segments cut,
+    #: ties by evenness); ``median`` is the classic k-d-B rule (median
+    #: entry boundary on the wider axis), ablated in the benchmarks.
+    SPLIT_RULES = ("min_cut", "median")
+
+    def __init__(
+        self,
+        ctx: StorageContext,
+        world: Optional[Rect] = None,
+        capacity: Optional[int] = None,
+        split_rule: str = "min_cut",
+    ) -> None:
+        super().__init__(ctx)
+        if split_rule not in self.SPLIT_RULES:
+            raise ValueError(
+                f"split_rule must be one of {self.SPLIT_RULES}, got {split_rule!r}"
+            )
+        self.split_rule = split_rule
+        self.world = world if world is not None else Rect(0, 0, WORLD_SIZE, WORLD_SIZE)
+        self.capacity = (
+            capacity
+            if capacity is not None
+            else entries_per_page(
+                ctx.page_size, RTREE_TUPLE_BYTES, RTREE_PAGE_HEADER_BYTES
+            )
+        )
+        if self.capacity < 4:
+            raise ValueError(f"page too small: node capacity {self.capacity} < 4")
+        self._root_id = ctx.pool.create(RPlusNode(is_leaf=True))
+        self._height = 1
+        self._page_ids = {self._root_id}
+        self._seg_count = 0
+        self._entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert(self, seg_id: int) -> None:
+        seg = self.ctx.segments.fetch(seg_id)
+        mbr = seg.mbr()
+        pieces = self._insert_rec(self._root_id, self.world, seg, seg_id, mbr)
+        if pieces is not None:
+            self._grow_root(pieces)
+        self._seg_count += 1
+
+    def delete(self, seg_id: int) -> None:
+        """Remove the segment from every leaf holding a copy.
+
+        Routing uses the segment's MBR, not its exact geometry: leaf
+        placement is MBR-conservative (a split can assign a copy to a
+        side the segment itself only grazes), so deletion must visit at
+        least every subtree placement could have reached.
+        """
+        seg = self.ctx.segments.fetch(seg_id)
+        removed = self._delete_rec(self._root_id, self.world, seg.mbr(), seg_id)
+        if removed == 0:
+            raise KeyError(f"segment {seg_id} not in the tree")
+        self._entry_count -= removed
+        self._seg_count -= 1
+
+    # ------------------------------------------------------------------
+    # Searches
+    # ------------------------------------------------------------------
+    def candidate_ids_at_point(self, p: Point) -> List[int]:
+        out: List[int] = []
+        pool = self.ctx.pool
+        counters = self.ctx.counters
+        stack = [self._root_id]
+        while stack:
+            node: RPlusNode = pool.get(stack.pop())
+            counters.bbox_comps += len(node.entries)
+            if node.is_leaf:
+                out.extend(ref for r, ref in node.entries if r.contains_point(p))
+            else:
+                # Disjoint regions: at most the boundary-sharing children match.
+                stack.extend(ref for r, ref in node.entries if r.contains_point(p))
+        return out
+
+    def candidate_ids_in_rect(self, rect: Rect) -> List[int]:
+        out: List[int] = []
+        pool = self.ctx.pool
+        counters = self.ctx.counters
+        stack = [self._root_id]
+        while stack:
+            node: RPlusNode = pool.get(stack.pop())
+            counters.bbox_comps += len(node.entries)
+            if node.is_leaf:
+                out.extend(ref for r, ref in node.entries if r.intersects(rect))
+            else:
+                stack.extend(ref for r, ref in node.entries if r.intersects(rect))
+        return out
+
+    def nn_start(self, p: Point) -> List[NNItem]:
+        return [NNItem(0.0, False, self._root_id)]
+
+    def nn_expand(self, ref: Any, p: Point) -> List[NNItem]:
+        node: RPlusNode = self.ctx.pool.get(ref)
+        self.ctx.counters.bbox_comps += len(node.entries)
+        if node.is_leaf:
+            # Examining a leaf examines its segments (see the R-tree note):
+            # candidates inherit the leaf's lower bound.
+            if not node.entries:
+                return []
+            d = query_lower_bound(p, Rect.union_of(r for r, _ in node.entries))
+            return [NNItem(d, True, child) for _, child in node.entries]
+        return [
+            NNItem(query_lower_bound(p, r), False, child)
+            for r, child in node.entries
+        ]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def page_count(self) -> int:
+        """Pages including overflow pages of any pathologically-full leaf."""
+        extra = 0
+        for pid in self._page_ids:
+            node = self.ctx.disk._pages[pid]
+            if len(node.entries) > self.capacity:
+                extra += ceil(len(node.entries) / self.capacity) - 1
+        return len(self._page_ids) + extra
+
+    def height(self) -> int:
+        return self._height
+
+    def entry_count(self) -> int:
+        """Total leaf entries; exceeds the segment count due to duplication."""
+        return self._entry_count
+
+    def segment_count(self) -> int:
+        return self._seg_count
+
+    def leaf_occupancy(self) -> float:
+        """Average entries per leaf page (bypasses the pool: instrumentation)."""
+        leaves = entries = 0
+        for pid in self._page_ids:
+            node = self.ctx.disk._pages[pid]
+            if node.is_leaf:
+                leaves += 1
+                entries += len(node.entries)
+        return entries / leaves if leaves else 0.0
+
+    # ------------------------------------------------------------------
+    # Insertion internals
+    # ------------------------------------------------------------------
+    def _insert_rec(
+        self, page_id: int, region: Rect, seg: Segment, seg_id: int, mbr: Rect
+    ) -> Optional[List[Piece]]:
+        """Insert into the subtree; return replacement pieces if it split."""
+        pool = self.ctx.pool
+        node: RPlusNode = pool.get(page_id)
+
+        if node.is_leaf:
+            node.entries.append((mbr, seg_id))
+            self._entry_count += 1
+            pool.mark_dirty(page_id)
+            self._note_leaf_insert(page_id, region, mbr)
+            if len(node.entries) > self.capacity:
+                return self._split_leaf(page_id, region, node)
+            return None
+
+        self.ctx.counters.bbox_comps += len(node.entries)
+        replacements: Dict[int, List[Piece]] = {}
+        for r, child in node.entries:
+            if seg.intersects_rect(r):
+                pieces = self._insert_rec(child, r, seg, seg_id, mbr)
+                if pieces is not None:
+                    replacements[child] = pieces
+        self._note_internal_insert(page_id, region, mbr)
+        if replacements:
+            new_entries: List[Entry] = []
+            for r, child in node.entries:
+                if child in replacements:
+                    new_entries.extend(replacements[child])
+                else:
+                    new_entries.append((r, child))
+            node.entries = new_entries
+            pool.mark_dirty(page_id)
+            if len(node.entries) > self.capacity:
+                return self._split_internal(page_id, region, node)
+        return None
+
+    def _grow_root(self, pieces: List[Piece]) -> None:
+        root = RPlusNode(is_leaf=False, entries=list(pieces))
+        self._root_id = self.ctx.pool.create(root)
+        self._page_ids.add(self._root_id)
+        self._height += 1
+        self._note_node_rewritten(self._root_id, self.world, root)
+
+    # -- subclass hooks ---------------------------------------------------
+    def _note_leaf_insert(self, page_id: int, region: Rect, mbr: Rect) -> None:
+        """Called after an entry lands in a leaf (hook for the true
+        R+-tree's content-MBR maintenance). No-op in the hybrid."""
+
+    def _note_internal_insert(self, page_id: int, region: Rect, mbr: Rect) -> None:
+        """Called for each internal node an insertion descends through
+        (hook for content-MBR maintenance). No-op in the hybrid."""
+
+    def _note_node_rewritten(
+        self, page_id: int, region: Rect, node: RPlusNode
+    ) -> None:
+        """Called whenever a split rewrites a node's entry list (hook for
+        content-MBR maintenance). No-op in the hybrid."""
+
+    # -- split-line selection ------------------------------------------
+    def _choose_split_line(
+        self, extents: Sequence[Tuple[float, float, float, float]], region: Rect
+    ) -> Optional[Tuple[int, float]]:
+        """Pick (axis, position) per the configured split rule.
+
+        ``extents`` are (xmin, ymin, xmax, ymax) clipped to ``region``.
+        The default rule cuts the fewest extents, ties broken by the
+        evenness of the split; the ``median`` rule takes the median
+        extent boundary on the region's longer axis. Returns ``None``
+        when no strictly-interior candidate line exists.
+        """
+        if self.split_rule == "median":
+            return self._median_split_line(extents, region)
+        best: Optional[Tuple[int, float]] = None
+        best_key: Optional[Tuple[int, int]] = None
+        total = len(extents)
+
+        for axis in (0, 1):
+            lo_r = region.xmin if axis == 0 else region.ymin
+            hi_r = region.xmax if axis == 0 else region.ymax
+            candidates = set()
+            for e in extents:
+                lo = e[axis]
+                hi = e[axis + 2]
+                if lo_r < lo < hi_r:
+                    candidates.add(lo)
+                if lo_r < hi < hi_r:
+                    candidates.add(hi)
+            mid = (lo_r + hi_r) / 2.0
+            if lo_r < mid < hi_r:
+                candidates.add(mid)
+
+            for pos in candidates:
+                cuts = left = right = 0
+                for e in extents:
+                    lo = e[axis]
+                    hi = e[axis + 2]
+                    if lo < pos < hi:
+                        cuts += 1
+                        left += 1
+                        right += 1
+                    else:
+                        in_left = lo < pos or hi <= pos
+                        if in_left:
+                            left += 1
+                        if hi > pos or lo >= pos:
+                            right += 1
+                # A split must make progress on at least one side.
+                if left >= total and right >= total:
+                    continue
+                key = (cuts, abs(left - right))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (axis, pos)
+        return best
+
+    def _median_split_line(
+        self, extents: Sequence[Tuple[float, float, float, float]], region: Rect
+    ) -> Optional[Tuple[int, float]]:
+        """The k-d-B rule: median entry midpoint on the longer axis,
+        falling back to the other axis, then to ``min_cut``."""
+        axes = (0, 1) if region.width >= region.height else (1, 0)
+        for axis in axes:
+            lo_r = region.xmin if axis == 0 else region.ymin
+            hi_r = region.xmax if axis == 0 else region.ymax
+            mids = sorted((e[axis] + e[axis + 2]) / 2.0 for e in extents)
+            pos = mids[len(mids) // 2]
+            if lo_r < pos < hi_r:
+                # The split must make progress on at least one side.
+                left = right = 0
+                for e in extents:
+                    in_left, in_right = self._assign_side(e, axis, pos)
+                    left += in_left
+                    right += in_right
+                if left < len(extents) or right < len(extents):
+                    return (axis, pos)
+        # Degenerate medians: fall back to the cut-minimizing search.
+        saved, self.split_rule = self.split_rule, "min_cut"
+        try:
+            return self._choose_split_line(extents, region)
+        finally:
+            self.split_rule = saved
+
+    @staticmethod
+    def _assign_side(
+        extent: Tuple[float, float, float, float], axis: int, pos: float
+    ) -> Tuple[bool, bool]:
+        """(in_left, in_right) membership of a clipped extent w.r.t. a line."""
+        lo = extent[axis]
+        hi = extent[axis + 2]
+        in_left = lo < pos or hi <= pos
+        in_right = hi > pos or lo >= pos
+        return in_left, in_right
+
+    # -- leaf split ------------------------------------------------------
+    def _split_leaf(
+        self, page_id: int, region: Rect, node: RPlusNode
+    ) -> Optional[List[Piece]]:
+        extents = [tuple(_clip_rect(r, region)) for r, _ in node.entries]
+        choice = self._choose_split_line(extents, region)
+        if choice is None:
+            return None  # pathological: leave the leaf overfull
+        axis, pos = choice
+        left_region, right_region = _split_region(region, axis, pos)
+
+        left_entries: List[Entry] = []
+        right_entries: List[Entry] = []
+        for extent, entry in zip(extents, node.entries):
+            in_left, in_right = self._assign_side(extent, axis, pos)
+            if in_left:
+                left_entries.append(entry)
+            if in_right:
+                right_entries.append(entry)
+
+        self._entry_count += len(left_entries) + len(right_entries) - len(node.entries)
+        node.entries = left_entries
+        self.ctx.pool.mark_dirty(page_id)
+        right_id = self.ctx.pool.create(RPlusNode(is_leaf=True, entries=right_entries))
+        self._page_ids.add(right_id)
+        self._note_node_rewritten(page_id, left_region, node)
+        self._note_node_rewritten(
+            right_id, right_region, self.ctx.disk._pages[right_id]
+        )
+        return [(left_region, page_id), (right_region, right_id)]
+
+    # -- internal split (with downward cascade) ---------------------------
+    def _split_internal(
+        self, page_id: int, region: Rect, node: RPlusNode
+    ) -> Optional[List[Piece]]:
+        extents = [tuple(r) for r, _ in node.entries]
+        choice = self._choose_split_line(extents, region)
+        if choice is None:
+            return None
+        axis, pos = choice
+        left_region, right_region = _split_region(region, axis, pos)
+
+        left_entries: List[Entry] = []
+        right_entries: List[Entry] = []
+        for r, child in node.entries:
+            if (r.xmax if axis == 0 else r.ymax) <= pos:
+                left_entries.append((r, child))
+            elif (r.xmin if axis == 0 else r.ymin) >= pos:
+                right_entries.append((r, child))
+            else:
+                l_piece, r_piece = self._split_subtree(child, r, axis, pos)
+                left_entries.append(l_piece)
+                right_entries.append(r_piece)
+
+        node.entries = left_entries
+        self.ctx.pool.mark_dirty(page_id)
+        right_id = self.ctx.pool.create(RPlusNode(is_leaf=False, entries=right_entries))
+        self._page_ids.add(right_id)
+        self._note_node_rewritten(page_id, left_region, node)
+        self._note_node_rewritten(
+            right_id, right_region, self.ctx.disk._pages[right_id]
+        )
+        return [(left_region, page_id), (right_region, right_id)]
+
+    def _split_subtree(
+        self, page_id: int, region: Rect, axis: int, pos: float
+    ) -> Tuple[Piece, Piece]:
+        """Split a whole subtree by a line (the k-d-B downward cascade)."""
+        pool = self.ctx.pool
+        node: RPlusNode = pool.get(page_id)
+        left_region, right_region = _split_region(region, axis, pos)
+
+        left_entries: List[Entry] = []
+        right_entries: List[Entry] = []
+        if node.is_leaf:
+            for r, ref in node.entries:
+                extent = tuple(_clip_rect(r, region))
+                in_left, in_right = self._assign_side(extent, axis, pos)
+                if in_left:
+                    left_entries.append((r, ref))
+                if in_right:
+                    right_entries.append((r, ref))
+            self._entry_count += (
+                len(left_entries) + len(right_entries) - len(node.entries)
+            )
+        else:
+            for r, child in node.entries:
+                if (r.xmax if axis == 0 else r.ymax) <= pos:
+                    left_entries.append((r, child))
+                elif (r.xmin if axis == 0 else r.ymin) >= pos:
+                    right_entries.append((r, child))
+                else:
+                    l_piece, r_piece = self._split_subtree(child, r, axis, pos)
+                    left_entries.append(l_piece)
+                    right_entries.append(r_piece)
+
+        node.entries = left_entries
+        pool.mark_dirty(page_id)
+        right_id = pool.create(RPlusNode(node.is_leaf, right_entries))
+        self._page_ids.add(right_id)
+        self._note_node_rewritten(page_id, left_region, node)
+        self._note_node_rewritten(right_id, right_region, self.ctx.disk._pages[right_id])
+        return (left_region, page_id), (right_region, right_id)
+
+    # ------------------------------------------------------------------
+    # Deletion internals
+    # ------------------------------------------------------------------
+    def _delete_rec(
+        self, page_id: int, region: Rect, mbr: Rect, seg_id: int
+    ) -> int:
+        pool = self.ctx.pool
+        node: RPlusNode = pool.get(page_id)
+        if node.is_leaf:
+            before = len(node.entries)
+            node.entries = [e for e in node.entries if e[1] != seg_id]
+            removed = before - len(node.entries)
+            if removed:
+                pool.mark_dirty(page_id)
+            return removed
+        removed = 0
+        self.ctx.counters.bbox_comps += len(node.entries)
+        for r, child in node.entries:
+            if mbr.intersects(r):
+                removed += self._delete_rec(child, r, mbr, seg_id)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        pool = self.ctx.pool
+        seen_pages = set()
+        leaf_entry_total = 0
+        seg_ids = set()
+
+        def walk(page_id: int, region: Rect, depth: int) -> None:
+            nonlocal leaf_entry_total
+            assert page_id in self._page_ids, f"page {page_id} untracked"
+            assert page_id not in seen_pages, f"page {page_id} shared"
+            seen_pages.add(page_id)
+            node: RPlusNode = pool.get(page_id)
+            if node.is_leaf:
+                assert depth == self._height, "leaf at wrong depth"
+                leaf_entry_total += len(node.entries)
+                ids_here = [ref for _, ref in node.entries]
+                assert len(ids_here) == len(set(ids_here)), "duplicate entry in leaf"
+                seg_ids.update(ids_here)
+                for r, _ in node.entries:
+                    assert r.intersects(region), "leaf entry outside region"
+                return
+            # The downward cascade can leave an internal node with a single
+            # child (the k-d-B-tree's known near-empty-node deficiency);
+            # zero children would break region coverage and is a bug.
+            assert len(node.entries) >= 1, "internal node with no children"
+            area = 0.0
+            for i, (r, child) in enumerate(node.entries):
+                assert region.contains_rect(r), "child region escapes parent"
+                area += r.area()
+                for r2, _ in node.entries[i + 1 :]:
+                    assert r.overlap_area(r2) == 0, "sibling regions overlap"
+                walk(child, r, depth + 1)
+            assert abs(area - region.area()) < 1e-6 * max(region.area(), 1.0), (
+                "child regions do not tile the parent region"
+            )
+
+        walk(self._root_id, self.world, 1)
+        assert seen_pages == self._page_ids, "page bookkeeping mismatch"
+        assert leaf_entry_total == self._entry_count, "entry count mismatch"
+        assert len(seg_ids) == self._seg_count, "segment count mismatch"
+
+        # Completeness: every stored segment is present in every leaf whose
+        # region contains a positive-length piece of it (a segment grazing a
+        # region only at a boundary point may legitimately live in the
+        # neighbouring leaf instead). Uses the instrumentation bypass.
+        for seg_id in seg_ids:
+            seg = self.ctx.segments.peek(seg_id)
+            self._check_complete(self._root_id, self.world, seg, seg_id)
+
+    def _check_complete(self, page_id: int, region: Rect, seg, seg_id: int) -> None:
+        node: RPlusNode = self.ctx.pool.get(page_id)
+        if node.is_leaf:
+            qedge = seg.clipped(region)
+            if qedge is None or qedge.is_degenerate():
+                return
+            assert any(ref == seg_id for _, ref in node.entries), (
+                f"segment {seg_id} missing from a leaf its geometry crosses"
+            )
+            return
+        for r, child in node.entries:
+            if seg.intersects_rect(r):
+                self._check_complete(child, r, seg, seg_id)

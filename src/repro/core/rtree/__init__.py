@@ -1,0 +1,22 @@
+"""The R-tree family: Guttman's original R-tree and the R*-tree.
+
+Nodes are one page each; an entry is the paper's 20-byte 2-tuple ``(R, O)``
+(4 coordinates + 1 pointer), so a 1 KiB page holds at most 50 entries and
+``m`` defaults to 40 % of ``M`` as the R*-tree authors recommend.
+"""
+
+from repro.core.rtree.bulk import bulk_load_str
+from repro.core.rtree.node import RTreeNode
+from repro.core.rtree.rstar import RStarTree
+from repro.core.rtree.rtree import GuttmanRTree
+from repro.core.rtree.splits import split_linear, split_quadratic, split_rstar
+
+__all__ = [
+    "GuttmanRTree",
+    "RStarTree",
+    "RTreeNode",
+    "bulk_load_str",
+    "split_linear",
+    "split_quadratic",
+    "split_rstar",
+]

@@ -1,0 +1,194 @@
+"""Node split policies for the R-tree family.
+
+Each policy takes the ``M + 1`` overflowing entries and the minimum fill
+``m`` and returns two non-empty groups, each with at least ``m`` entries.
+
+* :func:`split_linear` and :func:`split_quadratic` are Guttman's originals
+  (kept for the split-policy ablation benchmark).
+* :func:`split_rstar` is the R*-tree split (Beckmann et al., as described
+  in Section 3 of the paper): pick the axis whose candidate distributions
+  have the least total perimeter, then the distribution on that axis with
+  the least overlap (ties: least total area).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Rect
+
+Entry = Tuple[Rect, int]
+SplitResult = Tuple[List[Entry], List[Entry]]
+
+
+def _union(entries: Sequence[Entry]) -> Rect:
+    return Rect.union_of(r for r, _ in entries)
+
+
+def split_linear(entries: Sequence[Entry], m: int) -> SplitResult:
+    """Guttman's linear split: seeds by greatest normalized separation,
+    remaining entries assigned by least enlargement (group size permitting).
+    """
+    entries = list(entries)
+    if len(entries) < 2 * m:
+        raise ValueError(f"cannot split {len(entries)} entries with m={m}")
+
+    world = _union(entries)
+    best_sep = -1.0
+    seeds = (0, 1)
+    for lo_side, hi_side, extent in (
+        (min(range(len(entries)), key=lambda i: entries[i][0].xmax),
+         max(range(len(entries)), key=lambda i: entries[i][0].xmin),
+         max(world.width, 1e-12)),
+        (min(range(len(entries)), key=lambda i: entries[i][0].ymax),
+         max(range(len(entries)), key=lambda i: entries[i][0].ymin),
+         max(world.height, 1e-12)),
+    ):
+        if lo_side == hi_side:
+            continue
+        r_lo, r_hi = entries[lo_side][0], entries[hi_side][0]
+        sep = (max(r_hi.xmin - r_lo.xmax, r_hi.ymin - r_lo.ymax)) / extent
+        if sep > best_sep:
+            best_sep = sep
+            seeds = (lo_side, hi_side)
+
+    return _distribute(entries, seeds, m)
+
+
+def split_quadratic(entries: Sequence[Entry], m: int) -> SplitResult:
+    """Guttman's quadratic split: seeds maximize dead area, remaining
+    entries go where they enlarge the group least (biggest preference
+    first).
+    """
+    entries = list(entries)
+    if len(entries) < 2 * m:
+        raise ValueError(f"cannot split {len(entries)} entries with m={m}")
+
+    worst = -1.0
+    seeds = (0, 1)
+    for i in range(len(entries)):
+        ri = entries[i][0]
+        for j in range(i + 1, len(entries)):
+            rj = entries[j][0]
+            d = ri.merged(rj).area() - ri.area() - rj.area()
+            if d > worst:
+                worst = d
+                seeds = (i, j)
+    return _distribute(entries, seeds, m, quadratic=True)
+
+
+def _distribute(
+    entries: List[Entry], seeds: Tuple[int, int], m: int, quadratic: bool = False
+) -> SplitResult:
+    i, j = seeds
+    group1 = [entries[i]]
+    group2 = [entries[j]]
+    rect1 = entries[i][0]
+    rect2 = entries[j][0]
+    remaining = [e for k, e in enumerate(entries) if k not in (i, j)]
+
+    while remaining:
+        # If one group must take everything left to reach m, give it all.
+        need1 = m - len(group1)
+        need2 = m - len(group2)
+        if need1 >= len(remaining):
+            group1.extend(remaining)
+            return group1, group2
+        if need2 >= len(remaining):
+            group2.extend(remaining)
+            return group1, group2
+
+        if quadratic:
+            # Pick the entry with the strongest preference.
+            best_idx = 0
+            best_diff = -1.0
+            for k, (r, _) in enumerate(remaining):
+                d1 = rect1.merged(r).area() - rect1.area()
+                d2 = rect2.merged(r).area() - rect2.area()
+                diff = abs(d1 - d2)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_idx = k
+            entry = remaining.pop(best_idx)
+        else:
+            entry = remaining.pop(0)
+
+        r = entry[0]
+        d1 = rect1.merged(r).area() - rect1.area()
+        d2 = rect2.merged(r).area() - rect2.area()
+        if d1 < d2 or (
+            d1 == d2
+            and (
+                rect1.area() < rect2.area()
+                or (rect1.area() == rect2.area() and len(group1) <= len(group2))
+            )
+        ):
+            group1.append(entry)
+            rect1 = rect1.merged(r)
+        else:
+            group2.append(entry)
+            rect2 = rect2.merged(r)
+
+    return group1, group2
+
+
+def split_rstar(entries: Sequence[Entry], m: int) -> SplitResult:
+    """The R*-tree split.
+
+    For each axis, entries are sorted by lower then by upper rectangle
+    edge; every legal distribution (first group gets ``m .. M+1-m``
+    entries) contributes the sum of the two group perimeters ("margin").
+    The axis with the smaller margin total wins; on that axis the
+    distribution with the least overlap between the groups is chosen,
+    ties broken by least total area.
+    """
+    entries = list(entries)
+    total = len(entries)
+    if total < 2 * m:
+        raise ValueError(f"cannot split {total} entries with m={m}")
+
+    best_axis_margin = None
+    best_axis_sorts = None
+    for axis in (0, 1):
+        if axis == 0:
+            by_lower = sorted(entries, key=lambda e: (e[0].xmin, e[0].xmax))
+            by_upper = sorted(entries, key=lambda e: (e[0].xmax, e[0].xmin))
+        else:
+            by_lower = sorted(entries, key=lambda e: (e[0].ymin, e[0].ymax))
+            by_upper = sorted(entries, key=lambda e: (e[0].ymax, e[0].ymin))
+
+        margin_sum = 0.0
+        for ordering in (by_lower, by_upper):
+            prefixes = _running_unions(ordering)
+            suffixes = _running_unions(ordering[::-1])[::-1]
+            for k in range(m, total - m + 1):
+                margin_sum += prefixes[k - 1].perimeter() + suffixes[k].perimeter()
+
+        if best_axis_margin is None or margin_sum < best_axis_margin:
+            best_axis_margin = margin_sum
+            best_axis_sorts = (by_lower, by_upper)
+
+    best = None
+    best_key = None
+    for ordering in best_axis_sorts:
+        prefixes = _running_unions(ordering)
+        suffixes = _running_unions(ordering[::-1])[::-1]
+        for k in range(m, total - m + 1):
+            r1 = prefixes[k - 1]
+            r2 = suffixes[k]
+            key = (r1.overlap_area(r2), r1.area() + r2.area())
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (list(ordering[:k]), list(ordering[k:]))
+
+    return best
+
+
+def _running_unions(ordering: Sequence[Entry]) -> List[Rect]:
+    """``out[i]`` is the union of ``ordering[: i + 1]``'s rectangles."""
+    out: List[Rect] = []
+    acc = None
+    for r, _ in ordering:
+        acc = r if acc is None else acc.merged(r)
+        out.append(acc)
+    return out

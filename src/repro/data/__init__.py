@@ -1,0 +1,50 @@
+"""Map data: synthetic TIGER-like counties, query-point models, TIGER I/O.
+
+The paper's maps are six Maryland counties from the 1990 TIGER/Line
+precensus files (about 50 000 segments each), which are not available
+offline. :mod:`repro.data.generator` synthesizes planar road networks
+with the properties the comparison actually depends on -- density skew,
+intersection degree, and polygon-size distribution -- and
+:mod:`repro.data.counties` instantiates six profiles mirroring the
+paper's urban/suburban/rural mix. :mod:`repro.data.tiger` reads real
+Record Type 1 files for anyone who has them.
+"""
+
+from repro.data.counties import COUNTY_NAMES, county_profile, generate_county
+from repro.data.faces import Face, FaceSet, extract_faces
+from repro.data.generator import MapData, generate_map
+from repro.data.normalize import normalize_segments
+from repro.data.query_points import (
+    random_endpoint_queries,
+    random_windows,
+    two_stage_points,
+    uniform_points,
+)
+from repro.data.tiger import (
+    read_chains,
+    read_type1,
+    read_type2,
+    write_type1,
+    write_type2,
+)
+
+__all__ = [
+    "COUNTY_NAMES",
+    "Face",
+    "FaceSet",
+    "extract_faces",
+    "MapData",
+    "county_profile",
+    "generate_county",
+    "generate_map",
+    "normalize_segments",
+    "random_endpoint_queries",
+    "random_windows",
+    "read_chains",
+    "read_type1",
+    "read_type2",
+    "two_stage_points",
+    "uniform_points",
+    "write_type1",
+    "write_type2",
+]

@@ -1,0 +1,59 @@
+"""Coordinate normalization (Section 6).
+
+"For all the data structures, a minimum bounding square was computed for
+each map, and all coordinate values were normalized with respect to a 16K
+by 16K region."
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry import Rect, Segment
+
+
+def bounding_square(segments: Sequence[Segment]) -> Rect:
+    """The minimum bounding *square* of a segment collection."""
+    if not segments:
+        raise ValueError("cannot bound an empty map")
+    xmin = min(min(s.x1, s.x2) for s in segments)
+    xmax = max(max(s.x1, s.x2) for s in segments)
+    ymin = min(min(s.y1, s.y2) for s in segments)
+    ymax = max(max(s.y1, s.y2) for s in segments)
+    side = max(xmax - xmin, ymax - ymin)
+    return Rect(xmin, ymin, xmin + side, ymin + side)
+
+
+def normalize_segments(
+    segments: Sequence[Segment], world_size: int = 16384
+) -> List[Segment]:
+    """Scale a map into the ``[0, world_size)`` integer grid.
+
+    Endpoints are snapped to integer pixels, shared endpoints stay shared
+    (the same coordinate always rounds the same way), and segments that
+    collapse to a point under snapping are dropped. Note that snapping
+    *can* introduce crossings in pathological data; TIGER chains are far
+    apart relative to a 16K grid, and the synthetic generator emits
+    integer coordinates natively, so neither source is affected.
+    """
+    square = bounding_square(segments)
+    side = square.xmax - square.xmin
+    if side <= 0:
+        raise ValueError("map has zero extent")
+    scale = (world_size - 1) / side
+
+    def snap(x: float, origin: float) -> int:
+        v = int(round((x - origin) * scale))
+        return min(max(v, 0), world_size - 1)
+
+    out: List[Segment] = []
+    for s in segments:
+        ns = Segment(
+            snap(s.x1, square.xmin),
+            snap(s.y1, square.ymin),
+            snap(s.x2, square.xmin),
+            snap(s.y2, square.ymin),
+        )
+        if not ns.is_degenerate():
+            out.append(ns)
+    return out

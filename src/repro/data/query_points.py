@@ -1,0 +1,87 @@
+"""Random query generation (Section 6).
+
+Two random-point models for the nearest-line and polygon queries:
+
+* **1-stage**: uniform over the whole 16K x 16K region. The paper notes
+  many such points land outside the road network or in large empty areas.
+* **2-stage**: data-correlated. "We first generated the PMR quadtree
+  block at random using a uniform distribution based on the total number
+  of blocks -- not their size. Next ... we generated a query point at
+  random within the block." Small blocks sit where segments are dense, so
+  dense regions are queried more often.
+
+Plus endpoint sampling for queries 1/2 and windows covering 0.01 % of the
+map area for query 5 (the paper's window size, borrowed from the original
+R*-tree evaluation).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.core.pmr import PMRQuadtree
+from repro.data.generator import MapData
+from repro.geometry import Point, Rect
+
+
+def uniform_points(
+    n: int, rng: random.Random, world_size: int = 16384
+) -> List[Point]:
+    """The 1-stage model: n points uniform over the world square."""
+    return [
+        Point(rng.randrange(world_size), rng.randrange(world_size))
+        for _ in range(n)
+    ]
+
+
+def two_stage_points(n: int, rng: random.Random, pmr: PMRQuadtree) -> List[Point]:
+    """The 2-stage model: uniform over PMR leaf blocks, then within the block."""
+    blocks = pmr.leaf_blocks()
+    if not blocks:
+        raise ValueError("PMR quadtree has no blocks")
+    out: List[Point] = []
+    for _ in range(n):
+        block = blocks[rng.randrange(len(blocks))]
+        rect = block.rect(pmr.world_size)
+        out.append(
+            Point(
+                rng.randrange(int(rect.xmin), int(rect.xmax)),
+                rng.randrange(int(rect.ymin), int(rect.ymax)),
+            )
+        )
+    return out
+
+
+def random_endpoint_queries(
+    n: int, rng: random.Random, map_data: MapData
+) -> List[Tuple[Point, int]]:
+    """(endpoint, segment id) pairs for queries 1 and 2."""
+    if not map_data.segments:
+        raise ValueError("empty map")
+    out: List[Tuple[Point, int]] = []
+    for _ in range(n):
+        seg_id = rng.randrange(len(map_data.segments))
+        seg = map_data.segments[seg_id]
+        out.append((seg.start if rng.random() < 0.5 else seg.end, seg_id))
+    return out
+
+
+def random_windows(
+    n: int,
+    rng: random.Random,
+    world_size: int = 16384,
+    area_fraction: float = 0.0001,
+) -> List[Rect]:
+    """Query-5 windows covering ``area_fraction`` of the world area.
+
+    The paper uses 0.01 % -- a 160 x 160 pixel window on a 16K x 16K map.
+    """
+    side = max(1, int(round(math.sqrt(area_fraction) * world_size)))
+    out: List[Rect] = []
+    for _ in range(n):
+        x = rng.randrange(world_size - side)
+        y = rng.randrange(world_size - side)
+        out.append(Rect(x, y, x + side, y + side))
+    return out

@@ -1,0 +1,82 @@
+"""Descriptive statistics of a polygonal map.
+
+Used by the ``generate`` CLI command and the data-quality tests to show
+that a synthetic county has the properties the comparison depends on:
+segment count, vertex degrees (the paper's PMR threshold rests on roads
+rarely meeting more than 4 at a point), length distribution, density
+skew, and noding (planarity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.data.generator import MapData
+
+
+@dataclass
+class MapStatistics:
+    name: str
+    segments: int
+    vertices: int
+    degree_histogram: Dict[int, int]
+    length_min: float
+    length_mean: float
+    length_max: float
+    density_quartile_share: List[float]  # share of segments per density quartile
+    planar: bool
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        degrees = ", ".join(f"{d}:{n}" for d, n in sorted(self.degree_histogram.items()))
+        return (
+            f"{self.name}: {self.segments} segments, {self.vertices} vertices\n"
+            f"  degrees {{{degrees}}}\n"
+            f"  lengths min/mean/max = {self.length_min:.0f}/"
+            f"{self.length_mean:.0f}/{self.length_max:.0f}\n"
+            f"  densest-quartile share = {self.density_quartile_share[-1]:.2f}\n"
+            f"  noded planar map: {self.planar}"
+        )
+
+
+def map_statistics(map_data: MapData, grid: int = 8, check_planar: bool = True) -> MapStatistics:
+    """Compute the summary; ``grid`` controls the density measurement."""
+    segments = map_data.segments
+    if not segments:
+        raise ValueError("empty map")
+
+    degree: Dict[int, int] = {}
+    for ids in map_data.endpoint_index().values():
+        d = len(ids)
+        degree[d] = degree.get(d, 0) + 1
+
+    lengths = [s.length() for s in segments]
+
+    # Density skew: bin segment midpoints into a grid x grid raster and
+    # report the share of segments in each occupancy quartile of cells.
+    cell = map_data.world_size / grid
+    counts: Dict[Tuple[int, int], int] = {}
+    for s in segments:
+        cx = min(int(((s.x1 + s.x2) / 2) / cell), grid - 1)
+        cy = min(int(((s.y1 + s.y2) / 2) / cell), grid - 1)
+        counts[(cx, cy)] = counts.get((cx, cy), 0) + 1
+    occupied = sorted(counts.values())
+    quartiles: List[float] = []
+    n = len(occupied)
+    total = sum(occupied)
+    for q in range(4):
+        lo = (q * n) // 4
+        hi = ((q + 1) * n) // 4
+        quartiles.append(sum(occupied[lo:hi]) / total if total else 0.0)
+
+    return MapStatistics(
+        name=map_data.name,
+        segments=len(segments),
+        vertices=len(map_data.endpoint_index()),
+        degree_histogram=degree,
+        length_min=min(lengths),
+        length_mean=sum(lengths) / len(lengths),
+        length_max=max(lengths),
+        density_quartile_share=quartiles,
+        planar=(not map_data.planarity_violations()) if check_planar else True,
+    )

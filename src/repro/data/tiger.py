@@ -1,0 +1,216 @@
+"""Minimal 1990 TIGER/Line Record Type 1 I/O.
+
+The paper's data source is the Bureau of the Census TIGER/Line precensus
+files. Record Type 1 ("complete chain basic data record") is a fixed-width
+228-byte line whose tail carries the chain's endpoint coordinates in
+signed millionths of a degree:
+
+========  =========  ====================================
+columns   width      field
+========  =========  ====================================
+1         1          record type, ``'1'``
+6-15      10         TLID (permanent chain id)
+56-57     2          CFCC class (e.g. ``A41`` roads) -- first 2 of 3
+191-200   10         FRLONG (from-longitude, signed, 6 implied decimals)
+201-209   9          FRLAT
+210-219   10         TOLONG
+220-228   9          TOLAT
+========  =========  ====================================
+
+Only the fields needed to rebuild the segment geometry are interpreted;
+everything else is preserved as opaque padding by the writer (used by the
+round-trip tests). Feed the result to
+:func:`repro.data.normalize.normalize_segments` to get paper-style maps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.geometry import Segment
+
+_RECORD_LEN = 228
+
+
+class TigerFormatError(ValueError):
+    """Raised for records that do not parse as TIGER Type 1."""
+
+
+def _parse_coord(text: str, width: int, what: str, line_no: int) -> float:
+    raw = text.strip()
+    if not raw or raw in ("+", "-"):
+        raise TigerFormatError(f"line {line_no}: blank {what} field")
+    try:
+        return int(raw) / 1_000_000.0
+    except ValueError:
+        raise TigerFormatError(
+            f"line {line_no}: bad {what} field {text!r}"
+        ) from None
+
+
+def read_type1_records(
+    path: Union[str, Path]
+) -> List[Tuple[int, float, float, float, float]]:
+    """Read Type 1 chains as ``(TLID, frlong, frlat, tolong, tolat)``.
+
+    Records of other types are skipped; malformed Type 1 records raise
+    :class:`TigerFormatError`.
+    """
+    records: List[Tuple[int, float, float, float, float]] = []
+    with open(path, "r", encoding="ascii", errors="replace") as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line or line[0] != "1":
+                continue
+            if len(line) < _RECORD_LEN:
+                raise TigerFormatError(
+                    f"line {line_no}: type-1 record shorter than "
+                    f"{_RECORD_LEN} bytes ({len(line)})"
+                )
+            try:
+                tlid = int(line[5:15])
+            except ValueError:
+                raise TigerFormatError(f"line {line_no}: bad TLID") from None
+            frlong = _parse_coord(line[190:200], 10, "FRLONG", line_no)
+            frlat = _parse_coord(line[200:209], 9, "FRLAT", line_no)
+            tolong = _parse_coord(line[209:219], 10, "TOLONG", line_no)
+            tolat = _parse_coord(line[219:228], 9, "TOLAT", line_no)
+            records.append((tlid, frlong, frlat, tolong, tolat))
+    return records
+
+
+def read_type1(path: Union[str, Path]) -> List[Segment]:
+    """Read all Type 1 chains as endpoint-to-endpoint segments."""
+    return [
+        Segment(frlong, frlat, tolong, tolat)
+        for _, frlong, frlat, tolong, tolat in read_type1_records(path)
+    ]
+
+
+#: Record Type 2 ("complete chain shape coordinates") in the 1990 spec is
+#: a 208-byte line: RT (col 1), version padding, TLID (cols 6-15), the
+#: RTSQ sequence number (cols 16-18), then ten (long, lat) shape-point
+#: pairs at 19 bytes each (cols 19-208). Unused trailing pairs hold
+#: +000000000+00000000 and terminate the list.
+_TYPE2_LEN = 208
+
+
+def read_type2(path: Union[str, Path]) -> Dict[int, List[Tuple[float, float]]]:
+    """Read Type 2 shape points, keyed by TLID, in RTSQ order.
+
+    The zero pair terminates a record's points (no real chain passes
+    through (0 E, 0 N) in US data, which is how TIGER marks padding).
+    """
+    raw: Dict[int, List[Tuple[int, List[Tuple[float, float]]]]] = {}
+    with open(path, "r", encoding="ascii", errors="replace") as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line or line[0] != "2":
+                continue
+            if len(line) < _TYPE2_LEN:
+                raise TigerFormatError(
+                    f"line {line_no}: type-2 record shorter than "
+                    f"{_TYPE2_LEN} bytes ({len(line)})"
+                )
+            try:
+                tlid = int(line[5:15])
+                rtsq = int(line[15:18])
+            except ValueError:
+                raise TigerFormatError(f"line {line_no}: bad TLID/RTSQ") from None
+            points: List[Tuple[float, float]] = []
+            for i in range(10):
+                base = 18 + i * 19
+                lon = _parse_coord(line[base : base + 10], 10, "shape lon", line_no)
+                lat = _parse_coord(
+                    line[base + 10 : base + 19], 9, "shape lat", line_no
+                )
+                if lon == 0.0 and lat == 0.0:
+                    break
+                points.append((lon, lat))
+            raw.setdefault(tlid, []).append((rtsq, points))
+
+    out: Dict[int, List[Tuple[float, float]]] = {}
+    for tlid, chunks in raw.items():
+        chunks.sort()
+        out[tlid] = [p for _, pts in chunks for p in pts]
+    return out
+
+
+def read_chains(
+    rt1_path: Union[str, Path], rt2_path: Optional[Union[str, Path]] = None
+) -> List[Segment]:
+    """Assemble full chains (endpoints + shape points) into segments.
+
+    Each TIGER chain is a polyline: the Type 1 endpoints with the Type 2
+    shape points strung between them. Without an ``rt2_path`` this
+    degenerates to :func:`read_type1`.
+    """
+    shapes = read_type2(rt2_path) if rt2_path is not None else {}
+    segments: List[Segment] = []
+    for tlid, frlong, frlat, tolong, tolat in read_type1_records(rt1_path):
+        points = [(frlong, frlat), *shapes.get(tlid, []), (tolong, tolat)]
+        for (x1, y1), (x2, y2) in zip(points, points[1:]):
+            if (x1, y1) != (x2, y2):
+                segments.append(Segment(x1, y1, x2, y2))
+    return segments
+
+
+def write_type2(
+    path: Union[str, Path], shapes: Dict[int, List[Tuple[float, float]]]
+) -> int:
+    """Write shape points as Type 2 records (test fixture generator)."""
+    count = 0
+    with open(path, "w", encoding="ascii") as f:
+        for tlid, points in sorted(shapes.items()):
+            for rtsq, start in enumerate(range(0, len(points), 10), start=1):
+                chunk = points[start : start + 10]
+                rec = [" "] * _TYPE2_LEN
+                rec[0] = "2"
+                rec[5:15] = f"{tlid:>10d}"
+                rec[15:18] = f"{rtsq:>3d}"
+                for i in range(10):
+                    base = 18 + i * 19
+                    if i < len(chunk):
+                        lon, lat = chunk[i]
+                    else:
+                        lon, lat = 0.0, 0.0
+                    rec[base : base + 10] = _format_coord(lon, 10)
+                    rec[base + 10 : base + 19] = _format_coord(lat, 9)
+                f.write("".join(rec) + "\n")
+                count += 1
+    return count
+
+
+def write_type1(
+    path: Union[str, Path], segments: Iterable[Segment], cfcc: str = "A41"
+) -> int:
+    """Write segments as Type 1 records (degrees in, millionths out).
+
+    Returns the number of records written. Primarily a test fixture
+    generator, but emits records :func:`read_type1` and other TIGER
+    consumers accept.
+    """
+    count = 0
+    with open(path, "w", encoding="ascii") as f:
+        for i, seg in enumerate(segments, start=1):
+            rec = [" "] * _RECORD_LEN
+            rec[0] = "1"
+            rec[5:15] = f"{i:>10d}"
+            rec[55:58] = f"{cfcc:<3s}"[:3]
+            rec[190:200] = _format_coord(seg.x1, 10)
+            rec[200:209] = _format_coord(seg.y1, 9)
+            rec[209:219] = _format_coord(seg.x2, 10)
+            rec[219:228] = _format_coord(seg.y2, 9)
+            f.write("".join(rec) + "\n")
+            count += 1
+    return count
+
+
+def _format_coord(value: float, width: int) -> str:
+    scaled = int(round(value * 1_000_000))
+    sign = "-" if scaled < 0 else "+"
+    body = f"{abs(scaled):0{width - 1}d}"
+    if len(body) > width - 1:
+        raise TigerFormatError(f"coordinate {value} overflows field width {width}")
+    return sign + body

@@ -1,0 +1,58 @@
+"""Planar geometry substrate for the line-segment database reproduction.
+
+Coordinates live on the integer grid used by the paper (a 16K x 16K image
+after normalization), but every routine also accepts floats so the same
+predicates serve raw map coordinates before normalization.
+
+The public surface is:
+
+* :class:`~repro.geometry.point.Point`, :class:`~repro.geometry.rect.Rect`,
+  :class:`~repro.geometry.segment.Segment` -- the value types every other
+  package traffics in.
+* :mod:`~repro.geometry.predicates` -- exact orientation tests and angular
+  ordering around a vertex (used by the enclosing-polygon traversal).
+* :mod:`~repro.geometry.clipping` -- Cohen-Sutherland and Liang-Barsky
+  segment/rectangle clipping (used to derive q-edges).
+* :mod:`~repro.geometry.distance` -- squared Euclidean distances between
+  points, segments, and rectangles (used by nearest-neighbour search).
+"""
+
+from repro.geometry.batch import batch_intersections
+from repro.geometry.clipping import (
+    clip_cohen_sutherland,
+    clip_liang_barsky,
+    segment_intersects_rect,
+)
+from repro.geometry.distance import (
+    point_point_distance2,
+    point_rect_distance2,
+    point_segment_distance2,
+    rect_rect_distance2,
+)
+from repro.geometry.point import Point
+from repro.geometry.predicates import (
+    collinear_point_on_segment,
+    orientation,
+    pseudo_angle,
+    segments_intersect,
+)
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Segment",
+    "batch_intersections",
+    "clip_cohen_sutherland",
+    "clip_liang_barsky",
+    "collinear_point_on_segment",
+    "orientation",
+    "point_point_distance2",
+    "point_rect_distance2",
+    "point_segment_distance2",
+    "pseudo_angle",
+    "rect_rect_distance2",
+    "segment_intersects_rect",
+    "segments_intersect",
+]

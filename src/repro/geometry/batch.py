@@ -1,0 +1,126 @@
+"""Batch segment intersection detection.
+
+TIGER data — and everything the enclosing-polygon query touches — must be
+*noded*: segments may meet only at shared endpoints. Verifying that for a
+50 000-segment county with the O(n²) pairwise test is hopeless, so this
+module provides an expected O(n + k) detector using uniform spatial
+hashing: each segment is binned into the grid cells it crosses and only
+co-resident pairs are tested exactly.
+
+Used by :meth:`repro.data.generator.MapData.planarity_violations` and by
+tests as a fast oracle; it is itself property-tested against the brute
+pairwise check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.geometry.clipping import segment_intersects_rect
+from repro.geometry.predicates import segments_intersect
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+Pair = Tuple[int, int]
+
+
+def _cells_of(seg: Segment, cell: float) -> Iterator[Tuple[int, int]]:
+    """Grid cells the segment's geometry crosses (closed intersection)."""
+    x0 = int(min(seg.x1, seg.x2) // cell)
+    x1 = int(max(seg.x1, seg.x2) // cell)
+    y0 = int(min(seg.y1, seg.y2) // cell)
+    y1 = int(max(seg.y1, seg.y2) // cell)
+    if x1 - x0 <= 1 and y1 - y0 <= 1:
+        # MBR covers at most 4 cells: no clipping needed.
+        for cx in range(x0, x1 + 1):
+            for cy in range(y0, y1 + 1):
+                yield (cx, cy)
+        return
+    for cx in range(x0, x1 + 1):
+        for cy in range(y0, y1 + 1):
+            r = Rect(cx * cell, cy * cell, (cx + 1) * cell, (cy + 1) * cell)
+            if segment_intersects_rect(seg.start, seg.end, r):
+                yield (cx, cy)
+
+
+def batch_intersections(
+    segments: Sequence[Segment],
+    cell_size: float = 0.0,
+    ignore_shared_endpoints: bool = False,
+) -> Set[Pair]:
+    """All index pairs ``(i, j)`` with ``i < j`` whose segments intersect.
+
+    ``cell_size`` defaults to roughly the average segment extent (a good
+    bin size for road data); pass it explicitly for degenerate inputs.
+    With ``ignore_shared_endpoints`` a pair that only touches at a common
+    endpoint is not reported -- which makes the function a direct
+    planarity checker.
+    """
+    n = len(segments)
+    if n < 2:
+        return set()
+
+    if cell_size <= 0:
+        total = sum(
+            max(abs(s.x2 - s.x1), abs(s.y2 - s.y1)) for s in segments
+        )
+        cell_size = max(total / n, 1.0)
+
+    bins: Dict[Tuple[int, int], List[int]] = {}
+    for idx, seg in enumerate(segments):
+        for cell in _cells_of(seg, cell_size):
+            bins.setdefault(cell, []).append(idx)
+
+    out: Set[Pair] = set()
+    tested: Set[Pair] = set()
+    for members in bins.values():
+        for a in range(len(members)):
+            i = members[a]
+            si = segments[i]
+            for b in range(a + 1, len(members)):
+                j = members[b]
+                pair = (i, j) if i < j else (j, i)
+                if pair in tested:
+                    continue
+                tested.add(pair)
+                sj = segments[j]
+                if not segments_intersect(si.start, si.end, sj.start, sj.end):
+                    continue
+                if ignore_shared_endpoints:
+                    shared = {si.start, si.end} & {sj.start, sj.end}
+                    if shared:
+                        # Sharing an endpoint is legal noding unless the
+                        # segments also overlap beyond the shared point
+                        # (collinear overlap), which two quick interior
+                        # probes detect.
+                        if not _collinear_overlap(si, sj):
+                            continue
+                out.add(pair)
+    return out
+
+
+def _collinear_overlap(a: Segment, b: Segment) -> bool:
+    """Whether two endpoint-sharing segments overlap along a line."""
+    from repro.geometry.predicates import (
+        collinear_point_on_segment,
+        orientation,
+    )
+
+    if orientation(a.start, a.end, b.start) != 0 or orientation(
+        a.start, a.end, b.end
+    ) != 0:
+        return False
+    # Collinear: they overlap iff some non-shared endpoint lies strictly
+    # inside the other segment.
+    for p in (b.start, b.end):
+        if p not in (a.start, a.end) and collinear_point_on_segment(
+            a.start, a.end, p
+        ):
+            return True
+    for p in (a.start, a.end):
+        if p not in (b.start, b.end) and collinear_point_on_segment(
+            b.start, b.end, p
+        ):
+            return True
+    # Identical segments overlap.
+    return {a.start, a.end} == {b.start, b.end}

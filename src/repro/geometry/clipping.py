@@ -1,0 +1,165 @@
+"""Segment/rectangle clipping.
+
+The paper stores, per bucket, only *pointers* to full line segments; the
+part of a segment inside a block (its *q-edge*) is recovered on demand by
+clipping the segment against the block. Both textbook algorithms the paper
+cites (via Foley et al.) are provided: Cohen-Sutherland and Liang-Barsky.
+They are cross-checked against each other in the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+# Cohen-Sutherland outcodes.
+_INSIDE = 0
+_LEFT = 1
+_RIGHT = 2
+_BOTTOM = 4
+_TOP = 8
+
+
+def _outcode(x: float, y: float, r: Rect) -> int:
+    code = _INSIDE
+    if x < r.xmin:
+        code |= _LEFT
+    elif x > r.xmax:
+        code |= _RIGHT
+    if y < r.ymin:
+        code |= _BOTTOM
+    elif y > r.ymax:
+        code |= _TOP
+    return code
+
+
+def clip_cohen_sutherland(
+    p1: Point, p2: Point, rect: Rect
+) -> Optional[Tuple[Point, Point]]:
+    """Clip segment ``p1 p2`` to ``rect`` with the Cohen-Sutherland algorithm.
+
+    Returns the clipped endpoints, or ``None`` when the segment misses the
+    rectangle entirely. Grazing contact (a single boundary point) returns a
+    degenerate segment, matching the closed-rectangle convention used by
+    the indexes.
+    """
+    x1, y1 = p1
+    x2, y2 = p2
+    code1 = _outcode(x1, y1, rect)
+    code2 = _outcode(x2, y2, rect)
+
+    while True:
+        if not (code1 | code2):
+            return Point(x1, y1), Point(x2, y2)
+        if code1 & code2:
+            return None
+
+        # Pick an endpoint that is outside and move it to the boundary.
+        out = code1 if code1 else code2
+        if out & _TOP:
+            x = x1 + (x2 - x1) * (rect.ymax - y1) / (y2 - y1)
+            y = rect.ymax
+        elif out & _BOTTOM:
+            x = x1 + (x2 - x1) * (rect.ymin - y1) / (y2 - y1)
+            y = rect.ymin
+        elif out & _RIGHT:
+            y = y1 + (y2 - y1) * (rect.xmax - x1) / (x2 - x1)
+            x = rect.xmax
+        else:  # _LEFT
+            y = y1 + (y2 - y1) * (rect.xmin - x1) / (x2 - x1)
+            x = rect.xmin
+
+        if out == code1:
+            x1, y1 = x, y
+            code1 = _outcode(x1, y1, rect)
+        else:
+            x2, y2 = x, y
+            code2 = _outcode(x2, y2, rect)
+
+
+def clip_liang_barsky(
+    p1: Point, p2: Point, rect: Rect
+) -> Optional[Tuple[Point, Point]]:
+    """Clip segment ``p1 p2`` to ``rect`` with the Liang-Barsky algorithm.
+
+    Parametric clipping; returns the same results as Cohen-Sutherland (up
+    to floating-point rounding) with fewer intersection computations.
+    """
+    x1, y1 = p1
+    x2, y2 = p2
+    dx = x2 - x1
+    dy = y2 - y1
+
+    t0 = 0.0
+    t1 = 1.0
+    for p, q in (
+        (-dx, x1 - rect.xmin),
+        (dx, rect.xmax - x1),
+        (-dy, y1 - rect.ymin),
+        (dy, rect.ymax - y1),
+    ):
+        if p == 0:
+            if q < 0:
+                return None  # parallel and outside this boundary
+            continue
+        t = q / p
+        if p < 0:
+            if t > t1:
+                return None
+            if t > t0:
+                t0 = t
+        else:
+            if t < t0:
+                return None
+            if t < t1:
+                t1 = t
+
+    return (
+        Point(x1 + t0 * dx, y1 + t0 * dy),
+        Point(x1 + t1 * dx, y1 + t1 * dy),
+    )
+
+
+def segment_intersects_rect(p1: Point, p2: Point, rect: Rect) -> bool:
+    """Fast boolean: does segment ``p1 p2`` meet the closed rectangle?
+
+    Used on every insertion into the disjoint structures (R+-tree, PMR
+    quadtree) to decide which blocks a segment belongs to, so it avoids
+    divisions on the common accept/reject paths.
+    """
+    code1 = _outcode(p1.x, p1.y, rect)
+    if not code1:
+        return True
+    code2 = _outcode(p2.x, p2.y, rect)
+    if not code2:
+        return True
+    if code1 & code2:
+        return False
+
+    # Both endpoints outside, on different sides: the segment meets the
+    # rectangle iff the four corners do not all lie strictly on one side
+    # of the segment's supporting line.
+    dx = p2.x - p1.x
+    dy = p2.y - p1.y
+    sign = 0
+    for cx, cy in (
+        (rect.xmin, rect.ymin),
+        (rect.xmin, rect.ymax),
+        (rect.xmax, rect.ymin),
+        (rect.xmax, rect.ymax),
+    ):
+        cross = dx * (cy - p1.y) - dy * (cx - p1.x)
+        if cross > 0:
+            if sign < 0:
+                return True
+            sign = 1
+        elif cross < 0:
+            if sign > 0:
+                return True
+            sign = -1
+        else:
+            return True  # a corner lies on the line, within the slab test below
+
+    return False

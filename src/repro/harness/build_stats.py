@@ -1,0 +1,68 @@
+"""Table 1: data structure building statistics.
+
+For each county and structure: B-tree size in kilobytes (segment table
+excluded, as in the paper), disk accesses during the build (buffer-pool
+read misses; write-backs are reported alongside), and build cpu seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.data import COUNTY_NAMES, generate_county
+from repro.data.generator import MapData
+from repro.harness.experiment import BuiltStructure, build_structure
+
+
+@dataclass
+class BuildRow:
+    """One Table 1 row: a county measured under every structure."""
+
+    county: str
+    segments: int
+    size_kbytes: Dict[str, float] = field(default_factory=dict)
+    disk_accesses: Dict[str, int] = field(default_factory=dict)
+    disk_writes: Dict[str, int] = field(default_factory=dict)
+    cpu_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+def build_row(
+    map_data: MapData,
+    structures: Sequence[str] = ("R*", "R+", "PMR"),
+    page_size: int = 1024,
+    pool_pages: int = 16,
+) -> BuildRow:
+    """Build every structure over one map and collect its Table 1 row."""
+    row = BuildRow(county=map_data.name, segments=len(map_data))
+    for name in structures:
+        built = build_structure(
+            name, map_data, page_size=page_size, pool_pages=pool_pages
+        )
+        row.size_kbytes[name] = built.size_kbytes
+        row.disk_accesses[name] = built.build_metrics.disk_reads
+        row.disk_writes[name] = built.build_metrics.disk_writes
+        row.cpu_seconds[name] = built.build_seconds
+    return row
+
+
+def table1(
+    scale: float = 0.1,
+    structures: Sequence[str] = ("R*", "R+", "PMR"),
+    counties: Optional[Sequence[str]] = None,
+    page_size: int = 1024,
+    pool_pages: int = 16,
+) -> List[BuildRow]:
+    """Regenerate Table 1 over the synthetic counties at ``scale``."""
+    rows = []
+    for name in counties if counties is not None else COUNTY_NAMES:
+        map_data = generate_county(name, scale=scale)
+        rows.append(
+            build_row(
+                map_data,
+                structures=structures,
+                page_size=page_size,
+                pool_pages=pool_pages,
+            )
+        )
+    return rows

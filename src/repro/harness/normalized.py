@@ -1,0 +1,96 @@
+"""Normalized ranges (Figures 7-9).
+
+Section 6: because the counties differ so much (urban polygons of ~19
+edges vs rural ones of ~132), per-map measurements are normalized against
+the PMR quadtree's value on the same map; each figure then shows, per
+structure and workload, the *normalized range* -- min, average, and max
+of the normalized value over the six maps. PMR is identically 1.
+
+Figure 7 (bounding box computations) instead normalizes the R+-tree
+against the R*-tree, because the PMR's bucket computations are about two
+orders of magnitude smaller and would flatten the plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.data import COUNTY_NAMES, generate_county
+from repro.harness.query_stats import map_query_stats
+from repro.harness.workloads import WORKLOAD_NAMES, QueryStats
+
+
+@dataclass
+class NormalizedRange:
+    """min/avg/max of a normalized metric over the maps."""
+
+    structure: str
+    workload: str
+    metric: str
+    minimum: float
+    average: float
+    maximum: float
+
+    @classmethod
+    def from_values(
+        cls, structure: str, workload: str, metric: str, values: Sequence[float]
+    ) -> "NormalizedRange":
+        return cls(
+            structure=structure,
+            workload=workload,
+            metric=metric,
+            minimum=min(values),
+            average=sum(values) / len(values),
+            maximum=max(values),
+        )
+
+
+def collect_all_counties(
+    scale: float = 0.05,
+    n_queries: int = 100,
+    structures: Sequence[str] = ("PMR", "R+", "R*"),
+    counties: Optional[Sequence[str]] = None,
+    seed: int = 1992,
+) -> Dict[str, Dict[str, Dict[str, QueryStats]]]:
+    """``{county: {structure: {workload: stats}}}`` over all counties."""
+    out = {}
+    for county in counties if counties is not None else COUNTY_NAMES:
+        map_data = generate_county(county, scale=scale)
+        out[county] = map_query_stats(
+            map_data,
+            structures=structures,
+            n_queries=n_queries,
+            seed=seed,
+            window_area_fraction=min(0.0001 / scale, 0.01),
+        )
+    return out
+
+
+def normalized_ranges(
+    per_county: Dict[str, Dict[str, Dict[str, QueryStats]]],
+    metric: str,
+    structures: Sequence[str] = ("R+", "R*"),
+    baseline: str = "PMR",
+) -> List[NormalizedRange]:
+    """Reduce raw per-county stats to the figures' normalized ranges.
+
+    ``metric`` is one of ``disk_accesses``, ``segment_comps``,
+    ``bbox_comps``. Use ``baseline="R*"`` with ``structures=("R+",)``
+    for Figure 7.
+    """
+    ranges: List[NormalizedRange] = []
+    for structure in structures:
+        for workload in WORKLOAD_NAMES:
+            values = []
+            for county, by_structure in per_county.items():
+                base = by_structure[baseline][workload].metric(metric)
+                val = by_structure[structure][workload].metric(metric)
+                if base == 0:
+                    continue  # degenerate map; nothing to normalize
+                values.append(val / base)
+            if values:
+                ranges.append(
+                    NormalizedRange.from_values(structure, workload, metric, values)
+                )
+    return ranges

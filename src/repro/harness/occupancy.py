@@ -1,0 +1,88 @@
+"""The Concluding Remarks occupancy analysis.
+
+The paper observes (for 1 KiB pages) an average of ~36 segments per
+R*-tree page and ~32 per R+-tree page, that a PMR bucket with splitting
+threshold x holds about 0.5x segments on average, and therefore that a
+threshold of ~64 would equalize average bucket and page occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.data import generate_county
+from repro.data.generator import MapData
+from repro.harness.experiment import build_structure
+
+
+@dataclass
+class OccupancyReport:
+    county: str
+    rstar_leaf_occupancy: float
+    rplus_leaf_occupancy: float
+    pmr_bucket_occupancy: Dict[int, float]  # threshold -> avg bucket fill
+    pmr_size_kbytes: Dict[int, float]  # threshold -> index size
+
+    def equalizing_threshold(self) -> int:
+        """The swept threshold whose bucket occupancy comes closest to the
+        R-tree page occupancies (the paper estimates ~64)."""
+        target = (self.rstar_leaf_occupancy + self.rplus_leaf_occupancy) / 2
+        return min(
+            self.pmr_bucket_occupancy,
+            key=lambda t: abs(self.pmr_bucket_occupancy[t] - target),
+        )
+
+
+def occupancy_report(
+    map_data: MapData = None,
+    county: str = "baltimore",
+    scale: float = 0.05,
+    thresholds: Sequence[int] = (2, 4, 8, 16, 32, 64),
+) -> OccupancyReport:
+    if map_data is None:
+        map_data = generate_county(county, scale=scale)
+
+    rstar = build_structure("R*", map_data)
+    rplus = build_structure("R+", map_data)
+
+    pmr_occ: Dict[int, float] = {}
+    pmr_size: Dict[int, float] = {}
+    for threshold in thresholds:
+        built = build_structure("PMR", map_data, threshold=threshold)
+        pmr_occ[threshold] = built.index.bucket_occupancy()
+        pmr_size[threshold] = built.size_kbytes
+
+    return OccupancyReport(
+        county=map_data.name,
+        rstar_leaf_occupancy=rstar.index.leaf_occupancy(),
+        rplus_leaf_occupancy=rplus.index.leaf_occupancy(),
+        pmr_bucket_occupancy=pmr_occ,
+        pmr_size_kbytes=pmr_size,
+    )
+
+
+def pmr_threshold_sweep(
+    map_data: MapData,
+    thresholds: Sequence[int] = (2, 4, 8, 16, 32, 64),
+) -> List[Dict]:
+    """Storage/occupancy trade-off as the splitting threshold grows.
+
+    The paper: "as the splitting threshold is increased, the storage
+    requirements of the PMR quadtree decrease while the time necessary to
+    perform operations on it will increase."
+    """
+    rows = []
+    for threshold in thresholds:
+        built = build_structure("PMR", map_data, threshold=threshold)
+        rows.append(
+            {
+                "threshold": threshold,
+                "size_kbytes": built.size_kbytes,
+                "bucket_occupancy": built.index.bucket_occupancy(),
+                "buckets": len(built.index.leaf_blocks()),
+                "entries": built.index.entry_count(),
+                "build_seconds": built.build_seconds,
+            }
+        )
+    return rows

@@ -1,0 +1,70 @@
+"""Map-character surveys backing the Section 6 discussion.
+
+The paper explains the per-county differences through the maps
+themselves: "polygons in urban areas usually consisted of 5-6 line
+segments corresponding to a city block ... in rural areas ... polygons
+have much higher line segment counts", with measured averages of 19 for
+Baltimore and 132 for Charles. This module measures the same quantity on
+the synthetic counties, so the benchmarks can assert the urban << rural
+ordering that drives the polygon-query costs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.queries import enclosing_polygon
+from repro.data import two_stage_points
+from repro.data.generator import MapData
+from repro.harness.experiment import build_structure
+
+
+@dataclass
+class PolygonSurvey:
+    county: str
+    samples: int
+    closed_inner_faces: int
+    outer_face_hits: int
+    average_size: float
+    max_size: int
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return (
+            f"{self.county}: avg polygon {self.average_size:.1f} edges "
+            f"(max {self.max_size}) over {self.closed_inner_faces} inner "
+            f"faces; {self.outer_face_hits} query points fell outside"
+        )
+
+
+def polygon_size_survey(
+    map_data: MapData,
+    samples: int = 50,
+    seed: int = 1992,
+    built: Optional[object] = None,
+) -> PolygonSurvey:
+    """Average enclosing-polygon size under the 2-stage query model."""
+    pmr = built if built is not None else build_structure("PMR", map_data)
+    rng = random.Random(seed)
+    points = two_stage_points(samples, rng, pmr.index)
+
+    sizes: List[int] = []
+    outer = 0
+    for p in points:
+        result = enclosing_polygon(pmr.index, p)
+        if result is None or not result.closed:
+            continue
+        if result.is_outer:
+            outer += 1
+        else:
+            sizes.append(result.size)
+
+    return PolygonSurvey(
+        county=map_data.name,
+        samples=samples,
+        closed_inner_faces=len(sizes),
+        outer_face_hits=outer,
+        average_size=sum(sizes) / len(sizes) if sizes else 0.0,
+        max_size=max(sizes) if sizes else 0,
+    )

@@ -1,0 +1,69 @@
+"""Figure 6: build disk accesses by page size and buffer-pool size.
+
+"Figure 6 shows the effect of changing the page size and the size of the
+buffer pool on the number of disk accesses for the R+-tree and the PMR
+quadtree. In particular, they decrease as the page sizes and the size of
+the buffer pool increase. Moreover, for identical page and buffer pool
+configurations, the number of disk accesses for the PMR quadtree is
+smaller than for the R+-tree."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data import generate_county
+from repro.data.generator import MapData
+from repro.harness.experiment import build_structure
+
+
+@dataclass
+class SweepCell:
+    structure: str
+    page_size: int
+    pool_pages: int
+    disk_accesses: int
+    size_kbytes: float
+
+
+def figure6_sweep(
+    map_data: MapData = None,
+    county: str = "baltimore",
+    scale: float = 0.05,
+    structures: Sequence[str] = ("R+", "PMR"),
+    page_sizes: Sequence[int] = (512, 1024, 2048, 4096),
+    pool_pages_options: Sequence[int] = (8, 16, 32),
+) -> List[SweepCell]:
+    """Build each structure under every (page size, pool size) pair."""
+    if map_data is None:
+        map_data = generate_county(county, scale=scale)
+    cells: List[SweepCell] = []
+    for structure in structures:
+        for page_size in page_sizes:
+            for pool_pages in pool_pages_options:
+                built = build_structure(
+                    structure, map_data, page_size=page_size, pool_pages=pool_pages
+                )
+                cells.append(
+                    SweepCell(
+                        structure=structure,
+                        page_size=page_size,
+                        pool_pages=pool_pages,
+                        disk_accesses=built.build_metrics.disk_reads,
+                        size_kbytes=built.size_kbytes,
+                    )
+                )
+    return cells
+
+
+def sweep_as_grid(
+    cells: List[SweepCell],
+) -> Dict[str, Dict[Tuple[int, int], int]]:
+    """``{structure: {(page_size, pool_pages): disk_accesses}}``."""
+    out: Dict[str, Dict[Tuple[int, int], int]] = {}
+    for cell in cells:
+        out.setdefault(cell.structure, {})[(cell.page_size, cell.pool_pages)] = (
+            cell.disk_accesses
+        )
+    return out

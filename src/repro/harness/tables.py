@@ -1,0 +1,170 @@
+"""Plain-text renderings of the reproduced tables and figures, in the
+paper's row/column layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.build_stats import BuildRow
+from repro.harness.normalized import NormalizedRange
+from repro.harness.occupancy import OccupancyReport
+from repro.harness.sweeps import SweepCell, sweep_as_grid
+from repro.harness.workloads import WORKLOAD_NAMES, QueryStats
+
+_METRIC_LABELS = {
+    "disk_accesses": "disk accesses",
+    "segment_comps": "segment comps",
+    "bbox_comps": "bbox / node comps",
+}
+
+
+def format_table1(
+    rows: List[BuildRow], structures: Sequence[str] = ("R*", "R+", "PMR")
+) -> str:
+    """Table 1: size (Kbytes) | disk accesses | cpu seconds, per county."""
+    header1 = (
+        f"{'':14s}{'':>7s} |{'size (Kbytes)':^24s}|{'disk accesses':^24s}|"
+        f"{'cpu seconds':^24s}"
+    )
+    header2 = (
+        f"{'map name':14s}{'segs':>7s} |"
+        + "".join(f"{s:>8s}" for s in structures)
+        + "|"
+        + "".join(f"{s:>8s}" for s in structures)
+        + "|"
+        + "".join(f"{s:>8s}" for s in structures)
+    )
+    lines = [header1, header2, "-" * len(header2)]
+    for row in rows:
+        line = (
+            f"{row.county:14s}{row.segments:>7d} |"
+            + "".join(f"{row.size_kbytes[s]:>8.0f}" for s in structures)
+            + "|"
+            + "".join(f"{row.disk_accesses[s]:>8d}" for s in structures)
+            + "|"
+            + "".join(f"{row.cpu_seconds[s]:>8.2f}" for s in structures)
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_table2(
+    stats: Dict[str, Dict[str, QueryStats]],
+    structures: Sequence[str] = ("PMR", "R+", "R*"),
+    county: str = "charles",
+) -> str:
+    """Table 2: per-workload metric rows for one county."""
+    width = 18 + 12 * len(structures)
+    lines = [
+        f"{county} county".center(width),
+        f"{'query':<18s}{'metric':<20s}"
+        + "".join(f"{s:>12s}" for s in structures),
+    ]
+    lines.append("-" * (38 + 12 * len(structures)))
+    for workload in WORKLOAD_NAMES:
+        for metric, label in _METRIC_LABELS.items():
+            lines.append(
+                f"{workload:<18s}{label:<20s}"
+                + "".join(
+                    f"{stats[s][workload].metric(metric):>12.2f}"
+                    for s in structures
+                )
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_normalized(
+    ranges: List[NormalizedRange], title: str, baseline: str = "PMR"
+) -> str:
+    """Figures 7-9 as text: normalized min-avg-max per structure/workload."""
+    lines = [
+        title,
+        f"(normalized against {baseline}; each cell is min / avg / max over the maps)",
+        f"{'workload':<18s}{'structure':<10s}{'min':>8s}{'avg':>8s}{'max':>8s}",
+        "-" * 52,
+    ]
+    for workload in WORKLOAD_NAMES:
+        for r in ranges:
+            if r.workload == workload:
+                lines.append(
+                    f"{workload:<18s}{r.structure:<10s}"
+                    f"{r.minimum:>8.2f}{r.average:>8.2f}{r.maximum:>8.2f}"
+                )
+    return "\n".join(lines)
+
+
+def format_normalized_bars(
+    ranges: List[NormalizedRange], title: str, baseline: str = "PMR", width: int = 40
+) -> str:
+    """Figures 7-9 as horizontal bar charts (the paper plots ranges;
+    each bar spans min..max with the average marked)."""
+    finite = [r for r in ranges if r.maximum > 0]
+    if not finite:
+        return f"{title}\n(no data)"
+    scale_max = max(r.maximum for r in finite)
+    unit = width / scale_max
+    lines = [
+        title,
+        f"(bars span min..max over the maps, '*' marks the average; "
+        f"{baseline} = 1.0)",
+    ]
+    baseline_col = int(1.0 * unit)
+    for workload in WORKLOAD_NAMES:
+        for r in ranges:
+            if r.workload != workload:
+                continue
+            lo = int(r.minimum * unit)
+            hi = max(int(r.maximum * unit), lo + 1)
+            avg = min(max(int(r.average * unit), lo), hi - 1)
+            row = [" "] * (width + 2)
+            for i in range(lo, hi):
+                row[i] = "="
+            row[avg] = "*"
+            if 0 <= baseline_col < len(row) and row[baseline_col] == " ":
+                row[baseline_col] = "|"
+            lines.append(
+                f"{workload:<18s}{r.structure:<5s}{''.join(row)} "
+                f"{r.average:5.2f}"
+            )
+    return "\n".join(lines)
+
+
+def format_figure6(cells: List[SweepCell]) -> str:
+    """Figure 6 as a grid: build disk accesses per (page size, pool size)."""
+    grid = sweep_as_grid(cells)
+    page_sizes = sorted({c.page_size for c in cells})
+    pool_sizes = sorted({c.pool_pages for c in cells})
+    lines = ["Build disk accesses by page size and buffer size"]
+    for structure, values in grid.items():
+        lines.append(f"\n{structure}:")
+        lines.append(
+            f"{'page size':>10s} |"
+            + "".join(f"{p:>8d}p" for p in pool_sizes)
+            + "   (buffer pool pages)"
+        )
+        for page_size in page_sizes:
+            lines.append(
+                f"{str(page_size) + 'B':>10s} |"
+                + "".join(f"{values[(page_size, p)]:>9d}" for p in pool_sizes)
+            )
+    return "\n".join(lines)
+
+
+def format_occupancy(report: OccupancyReport) -> str:
+    lines = [
+        f"Average page/bucket occupancy ({report.county})",
+        f"  R*-tree leaf pages : {report.rstar_leaf_occupancy:.1f} segments/page",
+        f"  R+-tree leaf pages : {report.rplus_leaf_occupancy:.1f} segments/page",
+        "  PMR bucket occupancy by splitting threshold:",
+    ]
+    for threshold, occ in sorted(report.pmr_bucket_occupancy.items()):
+        size = report.pmr_size_kbytes[threshold]
+        lines.append(
+            f"    threshold {threshold:>3d}: {occ:>6.1f} segs/bucket "
+            f"(~{occ / threshold:.2f}x), index {size:.0f} KB"
+        )
+    lines.append(
+        f"  occupancy-equalizing threshold: {report.equalizing_threshold()}"
+    )
+    return "\n".join(lines)

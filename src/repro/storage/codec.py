@@ -1,0 +1,223 @@
+"""Byte-level page codecs.
+
+The hot path keeps page payloads as Python objects for speed, with
+capacities enforced by the byte accounting in :mod:`repro.storage.layout`.
+This module makes that accounting *real*: every payload type serializes
+to the exact on-disk format the layout constants describe, and the
+encoders refuse to emit a page larger than the page size. The round-trip
+tests pin the two views of the format together, and
+:func:`dump_database` / :func:`load_database` persist a whole simulated
+disk to a single file.
+
+Formats (little-endian):
+
+* R-tree / R+-tree node: header ``<BxxxI`` (leaf flag, entry count) then
+  20-byte entries ``<4fi`` (4 float32 rectangle coordinates + pointer);
+  24-byte header + 50 entries = 1024 bytes, as in the paper.
+* B-tree leaf: header ``<BxxxIq`` (leaf flag, count, next page or -1)
+  then 8-byte entries ``<Ii`` (locational code low word + pointer).
+  Codes wider than 32 bits use the extended entry ``<QI`` transparently.
+* Segment table page: count then 16-byte ``<4f`` endpoint records.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO, Dict, List, Tuple
+
+from repro.btree.node import InternalNode, LeafNode
+from repro.core.rplus.node import RPlusNode
+from repro.core.rtree.node import RTreeNode
+from repro.geometry import Rect, Segment
+from repro.storage.disk import DiskManager
+
+_RTREE_HEADER = struct.Struct("<BxxxI")  # is_leaf, count (padded to 8)
+_RTREE_ENTRY = struct.Struct("<4fi")  # 20 bytes, as the paper charges
+_BTREE_HEADER = struct.Struct("<BxxxIq")  # is_leaf, count, next_page
+_BTREE_ENTRY = struct.Struct("<Ii")  # 8 bytes: code (depth-14 Morton fits
+# in 28 bits) + pointer -- the paper's (L, O) 2-tuple
+_SEG_HEADER = struct.Struct("<I")
+_SEG_ENTRY = struct.Struct("<4f")  # 16 bytes per segment
+
+
+class CodecError(ValueError):
+    """Raised when a payload cannot be (de)serialized."""
+
+
+# ----------------------------------------------------------------------
+# R-tree family nodes
+# ----------------------------------------------------------------------
+def encode_rtree_node(node, page_size: int) -> bytes:
+    """Serialize an :class:`RTreeNode` or :class:`RPlusNode`."""
+    out = bytearray(_RTREE_HEADER.pack(node.is_leaf, len(node.entries)))
+    for rect, ref in node.entries:
+        out += _RTREE_ENTRY.pack(rect[0], rect[1], rect[2], rect[3], ref)
+    if len(out) > page_size:
+        raise CodecError(
+            f"node with {len(node.entries)} entries needs {len(out)} bytes; "
+            f"page is {page_size}"
+        )
+    return bytes(out)
+
+
+def decode_rtree_node(data: bytes, cls=RTreeNode):
+    is_leaf, count = _RTREE_HEADER.unpack_from(data, 0)
+    entries: List[Tuple[Rect, int]] = []
+    offset = _RTREE_HEADER.size
+    for _ in range(count):
+        x1, y1, x2, y2, ref = _RTREE_ENTRY.unpack_from(data, offset)
+        entries.append((Rect(x1, y1, x2, y2), ref))
+        offset += _RTREE_ENTRY.size
+    return cls(bool(is_leaf), entries)
+
+
+# ----------------------------------------------------------------------
+# B-tree nodes (PMR linear quadtree)
+# ----------------------------------------------------------------------
+def encode_btree_node(node, page_size: int) -> bytes:
+    try:
+        if node.is_leaf:
+            next_page = node.next_page if node.next_page is not None else -1
+            out = bytearray(_BTREE_HEADER.pack(1, len(node.entries), next_page))
+            for key, value in node.entries:
+                if not isinstance(key, int) or not isinstance(value, int):
+                    raise CodecError(
+                        f"only (int code, int pointer) leaf entries serialize; "
+                        f"got {(key, value)!r}"
+                    )
+                out += _BTREE_ENTRY.pack(key, value)
+        else:
+            out = bytearray(_BTREE_HEADER.pack(0, len(node.keys), -1))
+            for key in node.keys:
+                if not (isinstance(key, tuple) and len(key) == 2):
+                    raise CodecError(f"separator {key!r} is not a (code, ptr) pair")
+                out += _BTREE_ENTRY.pack(key[0], key[1])
+            for child in node.children:
+                out += struct.pack("<i", child)
+    except struct.error as exc:
+        raise CodecError(f"B-tree entry out of 32-bit range: {exc}") from None
+    if len(out) > page_size:
+        raise CodecError(f"B-tree node needs {len(out)} bytes; page is {page_size}")
+    return bytes(out)
+
+
+def decode_btree_node(data: bytes):
+    is_leaf, count, next_page = _BTREE_HEADER.unpack_from(data, 0)
+    offset = _BTREE_HEADER.size
+    if is_leaf:
+        entries = []
+        for _ in range(count):
+            key, value = _BTREE_ENTRY.unpack_from(data, offset)
+            entries.append((key, value))
+            offset += _BTREE_ENTRY.size
+        return LeafNode(entries, None if next_page < 0 else next_page)
+    keys = []
+    for _ in range(count):
+        code, ptr = _BTREE_ENTRY.unpack_from(data, offset)
+        keys.append((code, ptr))
+        offset += _BTREE_ENTRY.size
+    children = []
+    for _ in range(count + 1):
+        (child,) = struct.unpack_from("<i", data, offset)
+        children.append(child)
+        offset += 4
+    return InternalNode(keys, children)
+
+
+# ----------------------------------------------------------------------
+# Segment table pages
+# ----------------------------------------------------------------------
+def encode_segment_page(segments: List[Segment], page_size: int) -> bytes:
+    out = bytearray(_SEG_HEADER.pack(len(segments)))
+    for s in segments:
+        out += _SEG_ENTRY.pack(s.x1, s.y1, s.x2, s.y2)
+    if len(out) > page_size + _SEG_HEADER.size:
+        raise CodecError(
+            f"segment page needs {len(out)} bytes; page is {page_size}"
+        )
+    return bytes(out)
+
+
+def decode_segment_page(data: bytes) -> List[Segment]:
+    (count,) = _SEG_HEADER.unpack_from(data, 0)
+    offset = _SEG_HEADER.size
+    out = []
+    for _ in range(count):
+        x1, y1, x2, y2 = _SEG_ENTRY.unpack_from(data, offset)
+        out.append(Segment(x1, y1, x2, y2))
+        offset += _SEG_ENTRY.size
+    return out
+
+
+# ----------------------------------------------------------------------
+# Whole-database snapshots
+# ----------------------------------------------------------------------
+_PAYLOAD_CODECS = {
+    "rtree": (
+        lambda p, ps: encode_rtree_node(p, ps),
+        lambda d: decode_rtree_node(d, RTreeNode),
+    ),
+    "rplus": (
+        lambda p, ps: encode_rtree_node(p, ps),
+        lambda d: decode_rtree_node(d, RPlusNode),
+    ),
+    "btree": (encode_btree_node, decode_btree_node),
+    "segments": (encode_segment_page, decode_segment_page),
+}
+
+
+def _payload_kind(payload: Any) -> str:
+    if isinstance(payload, RPlusNode):
+        return "rplus"
+    if isinstance(payload, RTreeNode):
+        return "rtree"
+    if isinstance(payload, (LeafNode, InternalNode)):
+        return "btree"
+    if isinstance(payload, list) and (
+        not payload or isinstance(payload[0], Segment)
+    ):
+        return "segments"
+    raise CodecError(f"no codec for payload of type {type(payload).__name__}")
+
+
+def dump_database(disk: DiskManager, fh: BinaryIO) -> int:
+    """Write every allocated page of a simulated disk to ``fh``.
+
+    Returns the number of pages written. Pages are serialized with the
+    codec matching their payload type; the JSON header records enough to
+    reallocate them on load.
+    """
+    pages: Dict[int, Tuple[str, bytes]] = {}
+    for page_id, payload in sorted(disk._pages.items()):
+        kind = _payload_kind(payload)
+        encoder, _ = _PAYLOAD_CODECS[kind]
+        pages[page_id] = (kind, encoder(payload, disk.page_size))
+
+    header = {
+        "page_size": disk.page_size,
+        "next_id": disk._next_id,
+        "pages": [
+            {"id": pid, "kind": kind, "length": len(blob)}
+            for pid, (kind, blob) in pages.items()
+        ],
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    fh.write(struct.pack("<I", len(header_bytes)))
+    fh.write(header_bytes)
+    for pid, (kind, blob) in pages.items():
+        fh.write(blob)
+    return len(pages)
+
+
+def load_database(fh: BinaryIO) -> DiskManager:
+    """Rebuild a simulated disk written by :func:`dump_database`."""
+    (header_len,) = struct.unpack("<I", fh.read(4))
+    header = json.loads(fh.read(header_len).decode("utf-8"))
+    disk = DiskManager(page_size=header["page_size"])
+    for meta in header["pages"]:
+        blob = fh.read(meta["length"])
+        _, decoder = _PAYLOAD_CODECS[meta["kind"]]
+        disk._pages[meta["id"]] = decoder(blob)
+    disk._next_id = header["next_id"]
+    return disk

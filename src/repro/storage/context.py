@@ -1,0 +1,51 @@
+"""One structure's complete storage stack.
+
+The paper gives each structure under test its own 16-page buffer pool; a
+:class:`StorageContext` bundles the disk, pool, counters, and segment table
+so that every disk access and segment comparison is attributed to exactly
+one structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.geometry.segment import Segment
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.counters import MetricsCounters
+from repro.storage.disk import DiskManager
+from repro.storage.policies import ReplacementPolicy
+from repro.storage.segment_table import SegmentTable
+
+
+@dataclass
+class StorageContext:
+    """Disk + buffer pool + counters + segment table for one structure."""
+
+    disk: DiskManager
+    counters: MetricsCounters
+    pool: BufferPool
+    segments: SegmentTable
+
+    @classmethod
+    def create(
+        cls,
+        page_size: int = 1024,
+        pool_pages: int = 16,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> "StorageContext":
+        """Build a fresh stack with the paper's defaults (1 KiB x 16, LRU)."""
+        disk = DiskManager(page_size=page_size)
+        counters = MetricsCounters()
+        pool = BufferPool(disk, capacity=pool_pages, counters=counters, policy=policy)
+        table = SegmentTable(pool)
+        return cls(disk=disk, counters=counters, pool=pool, segments=table)
+
+    @property
+    def page_size(self) -> int:
+        return self.disk.page_size
+
+    def load_segments(self, segments: Iterable[Segment]) -> List[int]:
+        """Append segments to the table, returning their assigned ids."""
+        return [self.segments.append(s) for s in segments]

@@ -1,0 +1,88 @@
+"""Measurement counters for the paper's three tabulated quantities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+
+class MetricsSnapshot(NamedTuple):
+    """An immutable copy of the counters, used to delta a single query."""
+
+    disk_reads: int
+    disk_writes: int
+    buffer_hits: int
+    segment_comps: int
+    bbox_comps: int
+
+    @property
+    def disk_accesses(self) -> int:
+        """The paper's headline metric: pages read that were not resident."""
+        return self.disk_reads
+
+    def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":  # type: ignore[override]
+        return MetricsSnapshot(
+            self.disk_reads - other.disk_reads,
+            self.disk_writes - other.disk_writes,
+            self.buffer_hits - other.buffer_hits,
+            self.segment_comps - other.segment_comps,
+            self.bbox_comps - other.bbox_comps,
+        )
+
+    def __add__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":  # type: ignore[override]
+        return MetricsSnapshot(
+            self.disk_reads + other.disk_reads,
+            self.disk_writes + other.disk_writes,
+            self.buffer_hits + other.buffer_hits,
+            self.segment_comps + other.segment_comps,
+            self.bbox_comps + other.bbox_comps,
+        )
+
+
+@dataclass
+class MetricsCounters:
+    """Mutable counters threaded through one structure's storage stack.
+
+    Attributes mirror the paper's measurements:
+
+    * ``disk_reads`` -- buffer-pool read misses ("disk accesses").
+    * ``disk_writes`` -- dirty pages written back on eviction or flush.
+    * ``buffer_hits`` -- page requests satisfied from the pool (not a paper
+      metric, but needed to sanity-check the pool and for the page/buffer
+      size sweep of Figure 6).
+    * ``segment_comps`` -- accesses to the disk-resident segment table;
+      each one implies comparing the query against actual segment geometry.
+    * ``bbox_comps`` -- bounding *box* computations in the R-tree variants
+      and bounding *bucket* computations in the PMR quadtree; the paper
+      plots these in Figure 7 and Table 2.
+    """
+
+    disk_reads: int = 0
+    disk_writes: int = 0
+    buffer_hits: int = 0
+    segment_comps: int = 0
+    bbox_comps: int = 0
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            self.disk_reads,
+            self.disk_writes,
+            self.buffer_hits,
+            self.segment_comps,
+            self.bbox_comps,
+        )
+
+    def since(self, start: MetricsSnapshot) -> MetricsSnapshot:
+        """Counter deltas accumulated since ``start`` was taken."""
+        return self.snapshot() - start
+
+    def reset(self) -> None:
+        self.disk_reads = 0
+        self.disk_writes = 0
+        self.buffer_hits = 0
+        self.segment_comps = 0
+        self.bbox_comps = 0
+
+    @property
+    def disk_accesses(self) -> int:
+        return self.disk_reads

@@ -1,0 +1,73 @@
+"""Simulated page-granular disk.
+
+Pages carry arbitrary Python payloads; byte-level layout is enforced by the
+structures that own the pages (see :mod:`repro.storage.layout`), which keeps
+the simulation honest about capacities without paying serialization costs on
+every access. The :mod:`repro.storage.codec` module provides real byte
+serialization for persistence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class PageNotAllocatedError(KeyError):
+    """Raised when reading or writing a page id that was never allocated."""
+
+
+class DiskManager:
+    """A growable array of pages addressed by integer page id.
+
+    Physical read/write counts are tracked here (they differ from the
+    buffer pool's logical counts only if a pool is bypassed, which the
+    tests exploit to verify the pool actually absorbs traffic).
+    """
+
+    def __init__(self, page_size: int = 1024) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._pages: Dict[int, Any] = {}
+        self._next_id = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes occupied on 'disk' (pages are fixed-size units)."""
+        return len(self._pages) * self.page_size
+
+    def allocate(self, payload: Any = None) -> int:
+        """Allocate a fresh page, optionally with an initial payload."""
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = payload
+        return page_id
+
+    def is_allocated(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def read(self, page_id: int) -> Any:
+        try:
+            payload = self._pages[page_id]
+        except KeyError:
+            raise PageNotAllocatedError(page_id) from None
+        self.physical_reads += 1
+        return payload
+
+    def write(self, page_id: int, payload: Any) -> None:
+        if page_id not in self._pages:
+            raise PageNotAllocatedError(page_id)
+        self._pages[page_id] = payload
+        self.physical_writes += 1
+
+    def free(self, page_id: int) -> None:
+        """Release a page (after a node merge, for instance)."""
+        try:
+            del self._pages[page_id]
+        except KeyError:
+            raise PageNotAllocatedError(page_id) from None

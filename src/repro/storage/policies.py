@@ -1,0 +1,135 @@
+"""Buffer replacement policies.
+
+The paper uses least-recently-used replacement throughout; FIFO and Clock
+are provided for the replacement-policy ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Dict, List
+
+
+class ReplacementPolicy(ABC):
+    """Tracks the set of resident pages and picks eviction victims."""
+
+    @abstractmethod
+    def record_access(self, page_id: int) -> None:
+        """Note that ``page_id`` was just requested (it may be new)."""
+
+    @abstractmethod
+    def evict(self) -> int:
+        """Remove and return the victim page id. Raises ``LookupError`` if empty."""
+
+    @abstractmethod
+    def remove(self, page_id: int) -> None:
+        """Forget ``page_id`` (e.g. the page was freed), if present."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __contains__(self, page_id: int) -> bool: ...
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the page untouched for the longest time."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def record_access(self, page_id: int) -> None:
+        if page_id in self._order:
+            self._order.move_to_end(page_id)
+        else:
+            self._order[page_id] = None
+
+    def evict(self) -> int:
+        if not self._order:
+            raise LookupError("no pages to evict")
+        page_id, _ = self._order.popitem(last=False)
+        return page_id
+
+    def remove(self, page_id: int) -> None:
+        self._order.pop(page_id, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._order
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: evict the page resident for the longest time."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def record_access(self, page_id: int) -> None:
+        if page_id not in self._order:
+            self._order[page_id] = None
+
+    def evict(self) -> int:
+        if not self._order:
+            raise LookupError("no pages to evict")
+        page_id, _ = self._order.popitem(last=False)
+        return page_id
+
+    def remove(self, page_id: int) -> None:
+        self._order.pop(page_id, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._order
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance (clock) replacement."""
+
+    def __init__(self) -> None:
+        self._ring: List[int] = []
+        self._referenced: Dict[int, bool] = {}
+        self._hand = 0
+
+    def record_access(self, page_id: int) -> None:
+        if page_id in self._referenced:
+            self._referenced[page_id] = True
+        else:
+            self._ring.insert(self._hand, page_id)
+            self._hand += 1
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            self._referenced[page_id] = False
+
+    def evict(self) -> int:
+        if not self._ring:
+            raise LookupError("no pages to evict")
+        while True:
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            page_id = self._ring[self._hand]
+            if self._referenced[page_id]:
+                self._referenced[page_id] = False
+                self._hand += 1
+            else:
+                self._ring.pop(self._hand)
+                del self._referenced[page_id]
+                return page_id
+
+    def remove(self, page_id: int) -> None:
+        if page_id in self._referenced:
+            idx = self._ring.index(page_id)
+            self._ring.pop(idx)
+            if idx < self._hand:
+                self._hand -= 1
+            del self._referenced[page_id]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._referenced

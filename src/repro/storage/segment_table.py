@@ -1,0 +1,84 @@
+"""The disk-resident segment table.
+
+Every structure stores only *pointers* (segment ids) to geometry; the
+endpoints live here, 16 bytes per segment, in insertion order. Insertion
+order gives the table the spatial locality the paper relies on ("since the
+segments are usually in proximity, they will be stored close to each
+other"): maps are generated road-by-road, so consecutive ids are usually
+spatial neighbours.
+
+Each access through :meth:`SegmentTable.fetch` is one of the paper's
+*segment comparisons* and may fault a table page into the buffer pool.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.geometry.segment import Segment
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.layout import SEGMENT_RECORD_BYTES, entries_per_page
+
+
+class SegmentTable:
+    """Append-only paged table of segment endpoints."""
+
+    def __init__(self, pool: BufferPool) -> None:
+        self.pool = pool
+        self.per_page = entries_per_page(pool.disk.page_size, SEGMENT_RECORD_BYTES)
+        self._page_ids: List[int] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_ids)
+
+    @property
+    def bytes_used(self) -> int:
+        """Bytes occupied on disk (whole pages, as the paper counts them)."""
+        return len(self._page_ids) * self.pool.disk.page_size
+
+    def append(self, segment: Segment) -> int:
+        """Store a segment and return its id (sequential from zero)."""
+        seg_id = self._count
+        slot = seg_id % self.per_page
+        if slot == 0:
+            page_id = self.pool.create([segment])
+            self._page_ids.append(page_id)
+        else:
+            page_id = self._page_ids[-1]
+            payload: List[Segment] = self.pool.get(page_id)
+            payload.append(segment)
+            self.pool.mark_dirty(page_id)
+        self._count += 1
+        return seg_id
+
+    def extend(self, segments: List[Segment]) -> List[int]:
+        """Append many segments, returning their ids."""
+        return [self.append(s) for s in segments]
+
+    def fetch(self, seg_id: int) -> Segment:
+        """Fetch a segment's endpoints, charging one segment comparison."""
+        if not 0 <= seg_id < self._count:
+            raise IndexError(f"segment id {seg_id} out of range (0..{self._count - 1})")
+        self.pool.counters.segment_comps += 1
+        page = self.pool.get(self._page_ids[seg_id // self.per_page])
+        return page[seg_id % self.per_page]
+
+    def peek(self, seg_id: int) -> Segment:
+        """Fetch a segment WITHOUT touching counters or the buffer pool.
+
+        Instrumentation bypass for test oracles, map statistics, and data
+        generation. Never call this from index or query code: it would
+        hide segment comparisons from the measurements.
+        """
+        if not 0 <= seg_id < self._count:
+            raise IndexError(f"segment id {seg_id} out of range (0..{self._count - 1})")
+        page = self.pool.disk._pages[self._page_ids[seg_id // self.per_page]]
+        return page[seg_id % self.per_page]
+
+    def iter_ids(self) -> Iterator[int]:
+        return iter(range(self._count))

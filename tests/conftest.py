@@ -1,0 +1,125 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core import (
+    GuttmanRTree,
+    KDBTree,
+    PM1Quadtree,
+    PMRQuadtree,
+    RPlusTree,
+    RStarTree,
+    TrueRPlusTree,
+    UniformGrid,
+)
+from repro.geometry import Point, Rect, Segment
+from repro.storage import StorageContext
+
+#: Small world so tests exercise deep decompositions quickly.
+TEST_WORLD = 1024
+TEST_DEPTH = 10
+
+ALL_STRUCTURES = ["R*", "R", "R+", "R+t", "kdB", "PMR", "PM1", "grid"]
+
+
+def make_index(kind: str, ctx: StorageContext):
+    """Construct a structure sized for the small test world."""
+    if kind == "R*":
+        return RStarTree(ctx)
+    if kind == "R":
+        return GuttmanRTree(ctx)
+    if kind == "R+":
+        return RPlusTree(ctx, world=Rect(0, 0, TEST_WORLD, TEST_WORLD))
+    if kind == "R+t":
+        return TrueRPlusTree(ctx, world=Rect(0, 0, TEST_WORLD, TEST_WORLD))
+    if kind == "kdB":
+        return KDBTree(ctx, world=Rect(0, 0, TEST_WORLD, TEST_WORLD))
+    if kind == "PMR":
+        return PMRQuadtree(ctx, max_depth=TEST_DEPTH, world_size=TEST_WORLD)
+    if kind == "PM1":
+        return PM1Quadtree(ctx, max_depth=TEST_DEPTH, world_size=TEST_WORLD)
+    if kind == "grid":
+        return UniformGrid(ctx, granularity=16, world_size=TEST_WORLD)
+    raise KeyError(kind)
+
+
+def build_index(kind: str, segments: List[Segment], page_size=1024, pool_pages=16):
+    """Load a segment table and build one index over it."""
+    ctx = StorageContext.create(page_size=page_size, pool_pages=pool_pages)
+    idx = make_index(kind, ctx)
+    for seg_id in ctx.load_segments(segments):
+        idx.insert(seg_id)
+    return idx
+
+
+def lattice_map(n: int = 8, pitch: int = 100, jitter: int = 0, seed: int = 0):
+    """A planar grid map inside the test world (optionally jittered)."""
+    rng = random.Random(seed)
+
+    def pt(i, j):
+        x = (i + 1) * pitch + (rng.randint(-jitter, jitter) if jitter else 0)
+        y = (j + 1) * pitch + (rng.randint(-jitter, jitter) if jitter else 0)
+        return (x, y)
+
+    points = {(i, j): pt(i, j) for i in range(n) for j in range(n)}
+    segs = []
+    for i in range(n):
+        for j in range(n):
+            if i + 1 < n:
+                a, b = points[(i, j)], points[(i + 1, j)]
+                segs.append(Segment(a[0], a[1], b[0], b[1]))
+            if j + 1 < n:
+                a, b = points[(i, j)], points[(i, j + 1)]
+                segs.append(Segment(a[0], a[1], b[0], b[1]))
+    return segs
+
+
+def random_planar_segments(rng: random.Random, n_cells: int = 6) -> List[Segment]:
+    """A random planar subset of a jittered lattice (shared-endpoint only)."""
+    pitch = TEST_WORLD // (n_cells + 2)
+    jitter = pitch // 4
+    points = {}
+    for i in range(n_cells):
+        for j in range(n_cells):
+            points[(i, j)] = (
+                (i + 1) * pitch + rng.randint(-jitter, jitter),
+                (j + 1) * pitch + rng.randint(-jitter, jitter),
+            )
+    segs = []
+    for i in range(n_cells):
+        for j in range(n_cells):
+            for di, dj in ((1, 0), (0, 1)):
+                i2, j2 = i + di, j + dj
+                if i2 < n_cells and j2 < n_cells and rng.random() < 0.7:
+                    a, b = points[(i, j)], points[(i2, j2)]
+                    segs.append(Segment(a[0], a[1], b[0], b[1]))
+    if not segs:  # ensure non-empty
+        a, b = points[(0, 0)], points[(1, 0)]
+        segs.append(Segment(a[0], a[1], b[0], b[1]))
+    return segs
+
+
+# ----------------------------------------------------------------------
+# Brute-force oracles
+# ----------------------------------------------------------------------
+def oracle_at_point(segments: List[Segment], p: Point) -> List[int]:
+    return [i for i, s in enumerate(segments) if s.has_endpoint(p)]
+
+
+def oracle_in_window(segments: List[Segment], w: Rect) -> List[int]:
+    return [i for i, s in enumerate(segments) if s.intersects_rect(w)]
+
+
+def oracle_nearest_dist2(segments: List[Segment], p: Point) -> float:
+    return min(s.distance2_to_point(p) for s in segments)
+
+
+@pytest.fixture(params=ALL_STRUCTURES)
+def any_structure(request):
+    """Parametrize a test over every index structure."""
+    return request.param

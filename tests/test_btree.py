@@ -1,0 +1,234 @@
+"""Unit and property tests for the paged B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree
+from repro.storage import BufferPool, DiskManager, MetricsCounters
+
+
+def make_tree(leaf_capacity=4, internal_capacity=4, pool_pages=64):
+    disk = DiskManager(page_size=1024)
+    counters = MetricsCounters()
+    pool = BufferPool(disk, capacity=pool_pages, counters=counters)
+    tree = BPlusTree(pool, leaf_capacity, internal_capacity)
+    return tree, counters
+
+
+class TestBasics:
+    def test_empty(self):
+        tree, _ = make_tree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert list(tree.items()) == []
+        assert not tree.contains(1, 1)
+
+    def test_insert_and_contains(self):
+        tree, _ = make_tree()
+        tree.insert(5, 100)
+        assert tree.contains(5, 100)
+        assert not tree.contains(5, 101)
+        assert len(tree) == 1
+
+    def test_duplicate_pair_rejected(self):
+        tree, _ = make_tree()
+        tree.insert(5, 100)
+        with pytest.raises(ValueError):
+            tree.insert(5, 100)
+
+    def test_duplicate_keys_allowed(self):
+        tree, _ = make_tree()
+        tree.insert(5, 100)
+        tree.insert(5, 101)
+        tree.insert(5, 99)
+        assert tree.scan_eq(5) == [99, 100, 101]
+
+    def test_items_sorted(self):
+        tree, _ = make_tree()
+        for k in [9, 1, 5, 3, 7, 2, 8, 4, 6, 0]:
+            tree.insert(k, k * 10)
+        assert list(tree.items()) == [(k, k * 10) for k in range(10)]
+
+    def test_split_grows_height(self):
+        tree, _ = make_tree(leaf_capacity=4)
+        for k in range(5):
+            tree.insert(k, 0)
+        assert tree.height == 2
+        tree.check_invariants()
+
+    def test_delete_simple(self):
+        tree, _ = make_tree()
+        tree.insert(5, 100)
+        tree.delete(5, 100)
+        assert len(tree) == 0
+        assert not tree.contains(5, 100)
+
+    def test_delete_absent_raises(self):
+        tree, _ = make_tree()
+        tree.insert(5, 100)
+        with pytest.raises(KeyError):
+            tree.delete(5, 999)
+        with pytest.raises(KeyError):
+            tree.delete(6, 100)
+
+    def test_capacity_validation(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        with pytest.raises(ValueError):
+            BPlusTree(pool, leaf_capacity=1)
+        with pytest.raises(ValueError):
+            BPlusTree(pool, leaf_capacity=4, internal_capacity=2)
+
+
+class TestScans:
+    def _populated(self):
+        tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        for k in range(0, 100, 2):  # even keys 0..98
+            tree.insert(k, k)
+        return tree
+
+    def test_scan_range_inclusive(self):
+        tree = self._populated()
+        got = [k for k, _ in tree.scan_range(10, 20)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_scan_range_between_keys(self):
+        tree = self._populated()
+        got = [k for k, _ in tree.scan_range(11, 13)]
+        assert got == [12]
+
+    def test_scan_range_empty(self):
+        tree = self._populated()
+        assert list(tree.scan_range(11, 11)) == []
+
+    def test_scan_range_everything(self):
+        tree = self._populated()
+        assert len(list(tree.scan_range(-1, 1000))) == 50
+
+    def test_scan_crosses_leaves(self):
+        tree = self._populated()
+        assert [k for k, _ in tree.scan_range(0, 98)] == list(range(0, 100, 2))
+
+    def test_has_and_count_in_range(self):
+        tree = self._populated()
+        assert tree.has_in_range(11, 13)
+        assert not tree.has_in_range(11, 11)
+        assert tree.count_in_range(0, 10) == 6
+
+    def test_scan_eq_with_duplicates_across_leaf_boundary(self):
+        tree, _ = make_tree(leaf_capacity=2, internal_capacity=3)
+        for v in range(10):
+            tree.insert(42, v)
+        assert tree.scan_eq(42) == list(range(10))
+        tree.check_invariants()
+
+
+class TestBulkRandomized:
+    def test_random_insert_delete_against_reference(self):
+        rng = random.Random(1234)
+        tree, _ = make_tree(leaf_capacity=6, internal_capacity=5, pool_pages=16)
+        reference = set()
+        for step in range(3000):
+            if reference and rng.random() < 0.4:
+                pair = rng.choice(sorted(reference))
+                tree.delete(*pair)
+                reference.discard(pair)
+            else:
+                pair = (rng.randint(0, 200), rng.randint(0, 10_000))
+                if pair in reference:
+                    continue
+                tree.insert(*pair)
+                reference.add(pair)
+            if step % 500 == 0:
+                tree.check_invariants()
+        assert list(tree.items()) == sorted(reference)
+        tree.check_invariants()
+
+    def test_delete_everything(self):
+        tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        pairs = [(k % 17, k) for k in range(500)]
+        for p in pairs:
+            tree.insert(*p)
+        rng = random.Random(7)
+        rng.shuffle(pairs)
+        for p in pairs:
+            tree.delete(*p)
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        assert tree.height == 1
+        tree.check_invariants()
+
+    def test_page_accounting_shrinks_after_deletes(self):
+        tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        for k in range(200):
+            tree.insert(k, k)
+        pages_full = tree.page_count
+        for k in range(200):
+            tree.delete(k, k)
+        assert tree.page_count < pages_full
+        assert tree.page_count == 1  # back to a single root leaf
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)),
+            min_size=1,
+            max_size=300,
+        ),
+        st.integers(2, 8),
+        st.integers(3, 8),
+    )
+    def test_property_matches_sorted_reference(self, ops, leaf_cap, int_cap):
+        tree, _ = make_tree(leaf_capacity=leaf_cap, internal_capacity=int_cap)
+        reference = set()
+        for pair in ops:
+            if pair in reference:
+                tree.delete(*pair)
+                reference.discard(pair)
+            else:
+                tree.insert(*pair)
+                reference.add(pair)
+        assert list(tree.items()) == sorted(reference)
+        tree.check_invariants()
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.lists(st.integers(0, 1000), min_size=1, max_size=300, unique=True),
+        st.integers(0, 1000),
+        st.integers(0, 1000),
+    )
+    def test_property_range_scan_matches_filter(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree, _ = make_tree(leaf_capacity=5, internal_capacity=4)
+        for k in keys:
+            tree.insert(k, k)
+        got = [k for k, _ in tree.scan_range(lo, hi)]
+        assert got == sorted(k for k in keys if lo <= k <= hi)
+
+
+class TestDiskBehaviour:
+    def test_cold_descent_charges_height_reads(self):
+        tree, counters = make_tree(leaf_capacity=4, internal_capacity=4, pool_pages=64)
+        for k in range(100):
+            tree.insert(k, k)
+        assert tree.height >= 3
+        tree.pool.clear()
+        before = counters.disk_reads
+        tree.contains(57, 57)
+        assert counters.disk_reads - before == tree.height
+
+    def test_warm_descent_charges_nothing(self):
+        tree, counters = make_tree(pool_pages=64)
+        for k in range(100):
+            tree.insert(k, k)
+        tree.contains(57, 57)
+        before = counters.disk_reads
+        tree.contains(57, 57)
+        assert counters.disk_reads == before
+
+    def test_bytes_used_counts_whole_pages(self):
+        tree, _ = make_tree()
+        assert tree.bytes_used == tree.page_count * 1024

@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(capsys, *args):
+    rc = main(list(args))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+SMALL = ("--scale", "0.01", "--queries", "5")
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        rc, out = run_cli(capsys, "table1", *SMALL)
+        assert rc == 0
+        assert "map name" in out and "charles" in out
+
+    def test_table2(self, capsys):
+        rc, out = run_cli(capsys, "table2", "--county", "cecil", *SMALL)
+        assert rc == 0
+        assert "cecil county" in out
+        assert "Point1" in out and "Range" in out
+
+    def test_figure6(self, capsys):
+        rc, out = run_cli(capsys, "figure6", "--county", "cecil", *SMALL)
+        assert rc == 0
+        assert "page size" in out and "PMR" in out
+
+    @pytest.mark.parametrize("figure", ["figure7", "figure8", "figure9"])
+    def test_figures(self, capsys, figure):
+        rc, out = run_cli(capsys, figure, *SMALL)
+        assert rc == 0
+        assert "min" in out and "avg" in out and "max" in out
+
+    def test_occupancy(self, capsys):
+        rc, out = run_cli(capsys, "occupancy", "--county", "cecil", *SMALL)
+        assert rc == 0
+        assert "threshold" in out
+
+    def test_generate(self, capsys):
+        rc, out = run_cli(capsys, "generate", "--county", "garrett", *SMALL)
+        assert rc == 0
+        assert "garrett" in out
+        assert "degrees" in out
+        assert "noded planar map: True" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

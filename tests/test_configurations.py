@@ -1,0 +1,128 @@
+"""Cross-cutting configuration tests: page sizes, pool sizes, policies.
+
+The Figure 6 sweep varies page size (512 B - 4 KiB) and pool size (8-32
+pages); these tests pin that every structure stays *correct* under every
+configuration, so the sweep measures cost, not bugs.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GuttmanRTree, KDBTree, PMRQuadtree, RPlusTree, RStarTree, UniformGrid
+from repro.core.queries import nearest_segment, segments_at_point, window_query
+from repro.geometry import Point, Rect
+from repro.storage import StorageContext
+from repro.storage.policies import ClockPolicy, FIFOPolicy
+
+from tests.conftest import (
+    TEST_DEPTH,
+    TEST_WORLD,
+    oracle_at_point,
+    oracle_in_window,
+    oracle_nearest_dist2,
+    random_planar_segments,
+)
+
+WORLD = Rect(0, 0, TEST_WORLD, TEST_WORLD)
+
+
+def _make(kind, ctx):
+    if kind == "R*":
+        return RStarTree(ctx)
+    if kind == "R":
+        return GuttmanRTree(ctx)
+    if kind == "R+":
+        return RPlusTree(ctx, world=WORLD)
+    if kind == "kdB":
+        return KDBTree(ctx, world=WORLD)
+    if kind == "PMR":
+        return PMRQuadtree(ctx, max_depth=TEST_DEPTH, world_size=TEST_WORLD)
+    if kind == "grid":
+        return UniformGrid(ctx, granularity=16, world_size=TEST_WORLD)
+    raise KeyError(kind)
+
+
+@pytest.mark.parametrize("page_size", [512, 1024, 2048, 4096])
+@pytest.mark.parametrize("kind", ["R*", "R+", "PMR"])
+def test_correct_under_every_page_size(kind, page_size):
+    rng = random.Random(page_size)
+    segs = random_planar_segments(rng)
+    ctx = StorageContext.create(page_size=page_size, pool_pages=16)
+    idx = _make(kind, ctx)
+    for sid in ctx.load_segments(segs):
+        idx.insert(sid)
+    idx.check_invariants()
+
+    p = segs[3].start
+    assert set(segments_at_point(idx, p)) == set(oracle_at_point(segs, p))
+    w = Rect(150, 150, 700, 700)
+    assert set(window_query(idx, w)) == set(oracle_in_window(segs, w))
+    q = Point(500, 280)
+    assert nearest_segment(idx, q)[1] == pytest.approx(
+        oracle_nearest_dist2(segs, q)
+    )
+
+
+@pytest.mark.parametrize("pool_pages", [1, 2, 4, 64])
+def test_correct_under_tiny_and_big_pools(pool_pages):
+    """A one-page pool thrashes but must never corrupt anything."""
+    rng = random.Random(pool_pages)
+    segs = random_planar_segments(rng)
+    ctx = StorageContext.create(pool_pages=pool_pages)
+    idx = RStarTree(ctx)
+    for sid in ctx.load_segments(segs):
+        idx.insert(sid)
+    idx.check_invariants()
+    w = Rect(100, 100, 800, 800)
+    assert set(window_query(idx, w)) == set(oracle_in_window(segs, w))
+
+
+@pytest.mark.parametrize("policy_cls", [FIFOPolicy, ClockPolicy])
+@pytest.mark.parametrize("kind", ["R+", "PMR"])
+def test_correct_under_alternate_replacement_policies(kind, policy_cls):
+    rng = random.Random(99)
+    segs = random_planar_segments(rng)
+    ctx = StorageContext.create(policy=policy_cls())
+    idx = _make(kind, ctx)
+    for sid in ctx.load_segments(segs):
+        idx.insert(sid)
+    idx.check_invariants()
+    p = segs[0].end
+    assert set(segments_at_point(idx, p)) == set(oracle_at_point(segs, p))
+
+
+def test_smaller_pages_mean_more_pages():
+    rng = random.Random(7)
+    segs = random_planar_segments(rng, n_cells=6)
+
+    def pages(page_size):
+        ctx = StorageContext.create(page_size=page_size)
+        idx = RStarTree(ctx)
+        for sid in ctx.load_segments(segs):
+            idx.insert(sid)
+        return idx.page_count()
+
+    assert pages(512) >= pages(2048)
+
+
+def test_page_size_changes_capacities():
+    for page_size, expected_m in ((512, 24), (1024, 50), (2048, 101)):
+        ctx = StorageContext.create(page_size=page_size)
+        idx = RStarTree(ctx)
+        assert idx.capacity == expected_m
+
+    for page_size, expected in ((512, 56), (1024, 120), (2048, 248)):
+        ctx = StorageContext.create(page_size=page_size)
+        pmr = PMRQuadtree(ctx)
+        assert pmr.btree.leaf_capacity == expected
+
+
+def test_polygon_area_helper():
+    from repro.core.queries import enclosing_polygon
+    from tests.conftest import build_index, lattice_map
+
+    segs = lattice_map(n=4, pitch=150)
+    idx = build_index("R*", segs)
+    r = enclosing_polygon(idx, Point(225, 225))
+    assert r.area() == pytest.approx(150 * 150)

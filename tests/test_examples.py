@@ -1,0 +1,41 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation; these tests keep them from rotting. Each
+runs in-process via runpy (stdout captured by pytest) on its built-in
+small scale.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, monkeypatch, capsys):
+    path = Path(__file__).parent.parent / "examples" / script
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
+
+
+def test_example_inventory():
+    """The README's example table must stay in sync with reality."""
+    assert set(EXAMPLES) == {
+        "quickstart.py",
+        "index_shootout.py",
+        "road_maintenance.py",
+        "map_viewer.py",
+        "map_overlay.py",
+        "decomposition_gallery.py",
+        "tiger_import.py",
+    }
+    readme = (Path(__file__).parent.parent / "README.md").read_text()
+    for script in EXAMPLES:
+        assert script in readme, f"{script} missing from README"

@@ -1,0 +1,121 @@
+"""Tests for the spatial-hash batch intersection finder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Segment, batch_intersections
+from repro.geometry.predicates import segments_intersect
+
+from tests.conftest import random_planar_segments
+
+
+def brute(segments, ignore_shared=False):
+    out = set()
+    for i in range(len(segments)):
+        for j in range(i + 1, len(segments)):
+            a, b = segments[i], segments[j]
+            if not segments_intersect(a.start, a.end, b.start, b.end):
+                continue
+            if ignore_shared and ({a.start, a.end} & {b.start, b.end}):
+                from repro.geometry.batch import _collinear_overlap
+
+                if not _collinear_overlap(a, b):
+                    continue
+            out.add((i, j))
+    return out
+
+
+class TestBatchIntersections:
+    def test_simple_cross(self):
+        segs = [Segment(0, 0, 10, 10), Segment(0, 10, 10, 0)]
+        assert batch_intersections(segs) == {(0, 1)}
+
+    def test_disjoint(self):
+        segs = [Segment(0, 0, 10, 0), Segment(0, 100, 10, 100)]
+        assert batch_intersections(segs) == set()
+
+    def test_empty_and_single(self):
+        assert batch_intersections([]) == set()
+        assert batch_intersections([Segment(0, 0, 5, 5)]) == set()
+
+    def test_shared_endpoint_filter(self):
+        segs = [Segment(0, 0, 10, 10), Segment(10, 10, 20, 0)]
+        assert batch_intersections(segs) == {(0, 1)}
+        assert batch_intersections(segs, ignore_shared_endpoints=True) == set()
+
+    def test_collinear_overlap_not_excused(self):
+        """Sharing an endpoint does not excuse running along each other."""
+        segs = [Segment(0, 0, 10, 0), Segment(0, 0, 5, 0)]
+        assert batch_intersections(segs, ignore_shared_endpoints=True) == {(0, 1)}
+
+    def test_duplicate_segments_reported(self):
+        segs = [Segment(0, 0, 10, 0), Segment(0, 0, 10, 0)]
+        assert batch_intersections(segs, ignore_shared_endpoints=True) == {(0, 1)}
+
+    def test_t_crossing_reported(self):
+        """An endpoint landing mid-segment is NOT legal noding."""
+        segs = [Segment(0, 0, 10, 0), Segment(5, 0, 5, 8)]
+        assert batch_intersections(segs, ignore_shared_endpoints=True) == {(0, 1)}
+
+    def test_matches_brute_force_on_random_soup(self):
+        rng = random.Random(3)
+        segs = [
+            Segment(
+                rng.randint(0, 300), rng.randint(0, 300),
+                rng.randint(0, 300), rng.randint(0, 300),
+            )
+            for _ in range(60)
+        ]
+        assert batch_intersections(segs) == brute(segs)
+
+    def test_cell_size_invariance(self):
+        rng = random.Random(4)
+        segs = [
+            Segment(
+                rng.randint(0, 300), rng.randint(0, 300),
+                rng.randint(0, 300), rng.randint(0, 300),
+            )
+            for _ in range(40)
+        ]
+        expected = brute(segs)
+        for cell in (5, 37, 100, 1000):
+            assert batch_intersections(segs, cell_size=cell) == expected
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 10_000))
+    def test_property_vs_brute(self, seed):
+        rng = random.Random(seed)
+        segs = [
+            Segment(
+                rng.randint(0, 120), rng.randint(0, 120),
+                rng.randint(0, 120), rng.randint(0, 120),
+            )
+            for _ in range(25)
+        ]
+        segs = [s for s in segs if not s.is_degenerate()]
+        assert batch_intersections(segs) == brute(segs)
+        assert batch_intersections(segs, ignore_shared_endpoints=True) == brute(
+            segs, ignore_shared=True
+        )
+
+
+class TestMapPlanarity:
+    def test_generated_counties_are_planar(self):
+        from repro.data import generate_county
+
+        for name in ("baltimore", "charles"):
+            m = generate_county(name, scale=0.05)
+            assert m.planarity_violations() == set(), name
+
+    def test_violation_detected(self):
+        from repro.data.generator import MapData
+
+        m = MapData(
+            "broken",
+            [Segment(0, 0, 100, 100), Segment(0, 100, 100, 0)],
+            world_size=1024,
+        )
+        assert m.planarity_violations() == {(0, 1)}

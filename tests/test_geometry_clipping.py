@@ -1,0 +1,138 @@
+"""Tests for Cohen-Sutherland / Liang-Barsky clipping and the fast
+segment-rectangle intersection predicate.
+
+The two clippers are cross-checked against each other and against a brute
+sampling oracle; the boolean predicate must agree with the clippers.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Rect,
+    clip_cohen_sutherland,
+    clip_liang_barsky,
+    segment_intersects_rect,
+)
+
+coords = st.integers(min_value=0, max_value=100)
+points = st.builds(Point, coords, coords)
+RECT = Rect(20, 20, 60, 60)
+
+
+def rects():
+    return st.builds(
+        lambda x1, y1, x2, y2: Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)),
+        coords,
+        coords,
+        coords,
+        coords,
+    )
+
+
+def sample_oracle(p1, p2, rect, n=2000):
+    """Dense parametric sampling: does any sampled point land in rect?"""
+    for i in range(n + 1):
+        t = i / n
+        x = p1.x + t * (p2.x - p1.x)
+        y = p1.y + t * (p2.y - p1.y)
+        if rect.xmin <= x <= rect.xmax and rect.ymin <= y <= rect.ymax:
+            return True
+    return False
+
+
+class TestClipKnownCases:
+    def test_fully_inside(self):
+        got = clip_cohen_sutherland(Point(30, 30), Point(50, 50), RECT)
+        assert got == (Point(30, 30), Point(50, 50))
+
+    def test_fully_outside_one_side(self):
+        assert clip_cohen_sutherland(Point(0, 0), Point(10, 10), RECT) is None
+
+    def test_crossing_horizontally(self):
+        got = clip_cohen_sutherland(Point(0, 40), Point(100, 40), RECT)
+        assert got == (Point(20, 40), Point(60, 40))
+
+    def test_diagonal_through_corner_region(self):
+        got = clip_cohen_sutherland(Point(0, 0), Point(80, 80), RECT)
+        assert got == (Point(20, 20), Point(60, 60))
+
+    def test_grazing_corner(self):
+        # Line x + y = 80 touches the rect exactly at (20, 60) and (60, 20)?
+        # No: it passes through both; the clip is the chord between them.
+        got = clip_liang_barsky(Point(0, 80), Point(80, 0), RECT)
+        assert got is not None
+        a, b = got
+        assert {a, b} == {Point(20.0, 60.0), Point(60.0, 20.0)}
+
+    def test_touching_single_point(self):
+        # Line x + y = 120 grazes the corner (60, 60) only.
+        got = clip_liang_barsky(Point(40, 80), Point(80, 40), RECT)
+        assert got is not None
+        a, b = got
+        assert a == b == Point(60.0, 60.0)
+
+    def test_miss_beyond_corner(self):
+        assert clip_liang_barsky(Point(55, 80), Point(80, 55), RECT) is None
+        assert clip_cohen_sutherland(Point(55, 80), Point(80, 55), RECT) is None
+
+    def test_vertical_segment(self):
+        got = clip_liang_barsky(Point(40, 0), Point(40, 100), RECT)
+        assert got == (Point(40, 20), Point(40, 60))
+
+    def test_degenerate_segment_inside(self):
+        got = clip_liang_barsky(Point(30, 30), Point(30, 30), RECT)
+        assert got == (Point(30, 30), Point(30, 30))
+
+    def test_degenerate_segment_outside(self):
+        assert clip_liang_barsky(Point(0, 0), Point(0, 0), RECT) is None
+        assert clip_cohen_sutherland(Point(0, 0), Point(0, 0), RECT) is None
+
+
+class TestClipProperties:
+    @given(points, points, rects())
+    def test_both_algorithms_agree_on_hit(self, p1, p2, rect):
+        cs = clip_cohen_sutherland(p1, p2, rect)
+        lb = clip_liang_barsky(p1, p2, rect)
+        assert (cs is None) == (lb is None)
+        if cs is not None and lb is not None:
+            (a1, b1), (a2, b2) = cs, lb
+            assert a1.x == pytest.approx(a2.x, abs=1e-6)
+            assert a1.y == pytest.approx(a2.y, abs=1e-6)
+            assert b1.x == pytest.approx(b2.x, abs=1e-6)
+            assert b1.y == pytest.approx(b2.y, abs=1e-6)
+
+    @given(points, points, rects())
+    def test_clip_result_inside_rect(self, p1, p2, rect):
+        got = clip_liang_barsky(p1, p2, rect)
+        if got is not None:
+            eps = 1e-9
+            for p in got:
+                assert rect.xmin - eps <= p.x <= rect.xmax + eps
+                assert rect.ymin - eps <= p.y <= rect.ymax + eps
+
+    @given(points, points, rects())
+    def test_endpoints_inside_are_preserved(self, p1, p2, rect):
+        got = clip_liang_barsky(p1, p2, rect)
+        if rect.contains_point(p1) and rect.contains_point(p2):
+            assert got == (p1, p2)
+
+    @given(points, points)
+    def test_predicate_matches_clipper(self, p1, p2):
+        assert segment_intersects_rect(p1, p2, RECT) == (
+            clip_liang_barsky(p1, p2, RECT) is not None
+        )
+
+    @given(points, points, rects())
+    def test_predicate_matches_clipper_any_rect(self, p1, p2, rect):
+        assert segment_intersects_rect(p1, p2, rect) == (
+            clip_liang_barsky(p1, p2, rect) is not None
+        )
+
+    @given(points, points)
+    def test_predicate_vs_sampling_oracle_when_hit(self, p1, p2):
+        # Sampling can miss grazing hits but never fabricates one.
+        if sample_oracle(p1, p2, RECT, n=500):
+            assert segment_intersects_rect(p1, p2, RECT)

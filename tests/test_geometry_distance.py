@@ -1,0 +1,113 @@
+"""Tests for squared-distance kernels."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Rect,
+    point_point_distance2,
+    point_rect_distance2,
+    point_segment_distance2,
+    rect_rect_distance2,
+)
+
+coords = st.integers(min_value=-100, max_value=100)
+points = st.builds(Point, coords, coords)
+
+
+def rects():
+    return st.builds(
+        lambda x1, y1, x2, y2: Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)),
+        coords,
+        coords,
+        coords,
+        coords,
+    )
+
+
+class TestPointSegment:
+    def test_projection_interior(self):
+        assert point_segment_distance2(Point(5, 3), Point(0, 0), Point(10, 0)) == 9
+
+    def test_nearest_is_endpoint(self):
+        assert point_segment_distance2(Point(-3, 4), Point(0, 0), Point(10, 0)) == 25
+
+    def test_point_on_segment(self):
+        assert point_segment_distance2(Point(5, 0), Point(0, 0), Point(10, 0)) == 0
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance2(Point(3, 4), Point(0, 0), Point(0, 0)) == 25
+
+    @given(points, points, points)
+    def test_bounded_by_endpoint_distances(self, p, a, b):
+        d = point_segment_distance2(p, a, b)
+        assert d <= point_point_distance2(p, a) + 1e-9
+        assert d <= point_point_distance2(p, b) + 1e-9
+
+    @given(points, points, points)
+    def test_symmetric_in_endpoints(self, p, a, b):
+        assert point_segment_distance2(p, a, b) == pytest.approx(
+            point_segment_distance2(p, b, a)
+        )
+
+    @given(points, points, points)
+    def test_matches_dense_sampling(self, p, a, b):
+        d = point_segment_distance2(p, a, b)
+        best = min(
+            (a.x + t / 200 * (b.x - a.x) - p.x) ** 2
+            + (a.y + t / 200 * (b.y - a.y) - p.y) ** 2
+            for t in range(201)
+        )
+        assert d <= best + 1e-9
+        # The sampled minimum overshoots by O(segment_length / 200)^2.
+        assert math.isclose(d, best, rel_tol=5e-2, abs_tol=0.5)
+
+
+class TestPointRect:
+    def test_inside_is_zero(self):
+        assert point_rect_distance2(Point(5, 5), Rect(0, 0, 10, 10)) == 0
+
+    def test_boundary_is_zero(self):
+        assert point_rect_distance2(Point(0, 5), Rect(0, 0, 10, 10)) == 0
+
+    def test_beside(self):
+        assert point_rect_distance2(Point(13, 5), Rect(0, 0, 10, 10)) == 9
+
+    def test_diagonal(self):
+        assert point_rect_distance2(Point(13, 14), Rect(0, 0, 10, 10)) == 25
+
+    @given(points, rects())
+    def test_zero_iff_contained(self, p, r):
+        assert (point_rect_distance2(p, r) == 0) == r.contains_point(p)
+
+    @given(points, rects())
+    def test_lower_bounds_any_inner_point(self, p, r):
+        """MINDIST must lower-bound the distance to anything in the rect."""
+        d = point_rect_distance2(p, r)
+        corner = Point(
+            min(max(p.x, r.xmin), r.xmax), min(max(p.y, r.ymin), r.ymax)
+        )
+        assert d == pytest.approx(point_point_distance2(p, corner))
+
+
+class TestRectRect:
+    def test_overlapping_zero(self):
+        assert rect_rect_distance2(Rect(0, 0, 5, 5), Rect(3, 3, 8, 8)) == 0
+
+    def test_touching_zero(self):
+        assert rect_rect_distance2(Rect(0, 0, 5, 5), Rect(5, 5, 8, 8)) == 0
+
+    def test_diagonal_gap(self):
+        assert rect_rect_distance2(Rect(0, 0, 5, 5), Rect(8, 9, 10, 10)) == 25
+
+    @given(rects(), rects())
+    def test_symmetric(self, a, b):
+        assert rect_rect_distance2(a, b) == rect_rect_distance2(b, a)
+
+    @given(rects(), rects())
+    def test_zero_iff_intersecting(self, a, b):
+        assert (rect_rect_distance2(a, b) == 0) == a.intersects(b)

@@ -1,0 +1,92 @@
+"""Tests for the Segment value type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect, Segment
+
+coords = st.integers(min_value=0, max_value=1000)
+segments = st.builds(Segment, coords, coords, coords, coords)
+
+
+class TestBasics:
+    def test_from_points_roundtrip(self):
+        s = Segment.from_points(Point(1, 2), Point(3, 4))
+        assert s.start == Point(1, 2)
+        assert s.end == Point(3, 4)
+        assert s.endpoints() == (Point(1, 2), Point(3, 4))
+
+    def test_reversed(self):
+        assert Segment(1, 2, 3, 4).reversed() == Segment(3, 4, 1, 2)
+
+    def test_length(self):
+        s = Segment(0, 0, 3, 4)
+        assert s.length2() == 25
+        assert s.length() == 5
+
+    def test_degenerate(self):
+        assert Segment(2, 2, 2, 2).is_degenerate()
+        assert not Segment(2, 2, 2, 3).is_degenerate()
+
+    def test_mbr(self):
+        assert Segment(5, 1, 2, 9).mbr() == Rect(2, 1, 5, 9)
+
+    @given(segments)
+    def test_mbr_contains_endpoints(self, s):
+        r = s.mbr()
+        assert r.contains_point(s.start)
+        assert r.contains_point(s.end)
+
+    @given(segments)
+    def test_mbr_is_tight(self, s):
+        r = s.mbr()
+        assert {r.xmin, r.xmax} <= {s.x1, s.x2}
+        assert {r.ymin, r.ymax} <= {s.y1, s.y2}
+
+
+class TestEndpoints:
+    def test_other_endpoint(self):
+        s = Segment(1, 1, 5, 5)
+        assert s.other_endpoint(Point(1, 1)) == Point(5, 5)
+        assert s.other_endpoint(Point(5, 5)) == Point(1, 1)
+
+    def test_other_endpoint_not_an_endpoint(self):
+        with pytest.raises(ValueError):
+            Segment(1, 1, 5, 5).other_endpoint(Point(3, 3))
+
+    def test_other_endpoint_degenerate(self):
+        assert Segment(2, 2, 2, 2).other_endpoint(Point(2, 2)) == Point(2, 2)
+
+    def test_has_endpoint(self):
+        s = Segment(1, 1, 5, 5)
+        assert s.has_endpoint(Point(1, 1))
+        assert s.has_endpoint(Point(5, 5))
+        assert not s.has_endpoint(Point(2, 2))
+
+
+class TestClipping:
+    def test_clipped_inside(self):
+        s = Segment(1, 1, 2, 2)
+        assert s.clipped(Rect(0, 0, 10, 10)) == s
+
+    def test_clipped_missing(self):
+        assert Segment(0, 0, 1, 1).clipped(Rect(5, 5, 9, 9)) is None
+
+    @given(segments)
+    def test_clipped_consistent_with_intersects(self, s):
+        r = Rect(200, 200, 700, 700)
+        assert (s.clipped(r) is not None) == s.intersects_rect(r)
+
+    @given(segments)
+    def test_qedge_within_block(self, s):
+        r = Rect(200, 200, 700, 700)
+        q = s.clipped(r)
+        if q is not None:
+            eps = 1e-9
+            for p in q.endpoints():
+                assert r.xmin - eps <= p.x <= r.xmax + eps
+                assert r.ymin - eps <= p.y <= r.ymax + eps
+
+    def test_distance2_to_point(self):
+        assert Segment(0, 0, 10, 0).distance2_to_point(Point(5, 4)) == 16

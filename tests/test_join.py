@@ -1,0 +1,142 @@
+"""Tests for the spatial intersection joins (map overlay)."""
+
+import random
+
+import pytest
+
+from repro.core import GuttmanRTree, PMRQuadtree, RStarTree
+from repro.core.queries import brute_force_join, quadtree_join, rtree_join
+from repro.geometry import Segment
+from repro.storage import StorageContext
+
+from tests.conftest import TEST_DEPTH, TEST_WORLD
+
+
+def build_rtree(segments, cls=RStarTree):
+    ctx = StorageContext.create()
+    idx = cls(ctx)
+    for sid in ctx.load_segments(segments):
+        idx.insert(sid)
+    return idx
+
+
+def build_pmr(segments, threshold=4):
+    ctx = StorageContext.create()
+    idx = PMRQuadtree(ctx, threshold=threshold, max_depth=TEST_DEPTH, world_size=TEST_WORLD)
+    for sid in ctx.load_segments(segments):
+        idx.insert(sid)
+    return idx
+
+
+def two_layers(seed, n=10):
+    """Roads (lattice verticals) and streams (meandering horizontals)."""
+    rng = random.Random(seed)
+    roads = [
+        Segment(x, rng.randint(0, 200), x, rng.randint(700, 1000))
+        for x in range(50, 1000, 1000 // n)
+    ]
+    streams = []
+    y = 100
+    x = 0
+    while x < 950:
+        nx = x + rng.randint(40, 120)
+        ny = max(10, min(1000, y + rng.randint(-80, 80)))
+        streams.append(Segment(x, y, min(nx, 1000), ny))
+        x, y = min(nx, 1000), ny
+    return roads, streams
+
+
+class TestRTreeJoin:
+    def test_matches_brute_force(self):
+        roads, streams = two_layers(1)
+        a = build_rtree(roads)
+        b = build_rtree(streams)
+        assert rtree_join(a, b) == brute_force_join(roads, streams)
+
+    def test_guttman_variant(self):
+        roads, streams = two_layers(2)
+        a = build_rtree(roads, cls=GuttmanRTree)
+        b = build_rtree(streams, cls=GuttmanRTree)
+        assert rtree_join(a, b) == brute_force_join(roads, streams)
+
+    def test_disjoint_layers_empty(self):
+        a = build_rtree([Segment(0, 0, 100, 0)])
+        b = build_rtree([Segment(0, 500, 100, 500)])
+        assert rtree_join(a, b) == set()
+
+    def test_different_heights(self):
+        roads, streams = two_layers(3)
+        a = build_rtree(roads)  # small tree
+        big = [
+            Segment(i, j, i + 3, j + 3)
+            for i in range(0, 1000, 25)
+            for j in range(0, 1000, 50)
+        ]
+        b = build_rtree(streams + big)
+        expected = brute_force_join(roads, streams + big)
+        assert rtree_join(a, b) == expected
+
+    def test_join_charges_both_sides(self):
+        roads, streams = two_layers(4)
+        a = build_rtree(roads)
+        b = build_rtree(streams)
+        a0 = a.ctx.counters.bbox_comps
+        b0 = b.ctx.counters.bbox_comps
+        rtree_join(a, b)
+        assert a.ctx.counters.bbox_comps > a0
+        assert b.ctx.counters.bbox_comps > b0
+
+
+class TestQuadtreeJoin:
+    def test_matches_brute_force(self):
+        roads, streams = two_layers(5)
+        a = build_pmr(roads)
+        b = build_pmr(streams)
+        assert quadtree_join(a, b) == brute_force_join(roads, streams)
+
+    def test_different_thresholds_still_align(self):
+        """Different thresholds give different decompositions of the same
+        aligned world -- ancestor/descendant blocks, never partial overlap."""
+        roads, streams = two_layers(6)
+        a = build_pmr(roads, threshold=2)
+        b = build_pmr(streams, threshold=8)
+        assert quadtree_join(a, b) == brute_force_join(roads, streams)
+
+    def test_mismatched_worlds_rejected(self):
+        ctx1 = StorageContext.create()
+        a = PMRQuadtree(ctx1, world_size=1024, max_depth=10)
+        ctx2 = StorageContext.create()
+        b = PMRQuadtree(ctx2, world_size=2048, max_depth=10)
+        with pytest.raises(ValueError):
+            quadtree_join(a, b)
+
+    def test_empty_sides(self):
+        roads, _ = two_layers(7)
+        a = build_pmr(roads)
+        ctx = StorageContext.create()
+        b = PMRQuadtree(ctx, world_size=TEST_WORLD, max_depth=TEST_DEPTH)
+        assert quadtree_join(a, b) == set()
+
+    def test_agrees_with_rtree_join(self):
+        roads, streams = two_layers(8)
+        q = quadtree_join(build_pmr(roads), build_pmr(streams))
+        r = rtree_join(build_rtree(roads), build_rtree(streams))
+        assert q == r
+
+    def test_alignment_needs_no_bbox_tests_above_buckets(self):
+        """The Section 7 claim in miniature: the aligned walk charges
+        bucket reads only, far fewer than the R-tree join's rectangle
+        pair tests."""
+        roads, streams = two_layers(9)
+        qa, qb = build_pmr(roads), build_pmr(streams)
+        ra, rb = build_rtree(roads), build_rtree(streams)
+
+        qa0 = qa.ctx.counters.bbox_comps + qb.ctx.counters.bbox_comps
+        quadtree_join(qa, qb)
+        q_cost = (qa.ctx.counters.bbox_comps + qb.ctx.counters.bbox_comps) - qa0
+
+        ra0 = ra.ctx.counters.bbox_comps + rb.ctx.counters.bbox_comps
+        rtree_join(ra, rb)
+        r_cost = (ra.ctx.counters.bbox_comps + rb.ctx.counters.bbox_comps) - ra0
+
+        assert q_cost < r_cost

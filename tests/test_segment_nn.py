@@ -1,0 +1,105 @@
+"""Tests for segment-to-segment nearest-neighbour search."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queries import iter_nearest, nearest_segment_to_segment
+from repro.geometry import Point, Segment
+from repro.geometry.distance import segment_segment_distance2
+
+from tests.conftest import ALL_STRUCTURES, build_index, random_planar_segments
+
+coords = st.integers(min_value=0, max_value=500)
+
+
+class TestSegmentSegmentDistance:
+    def test_crossing_is_zero(self):
+        assert segment_segment_distance2(
+            Point(0, 0), Point(10, 10), Point(0, 10), Point(10, 0)
+        ) == 0
+
+    def test_shared_endpoint_is_zero(self):
+        assert segment_segment_distance2(
+            Point(0, 0), Point(5, 5), Point(5, 5), Point(9, 0)
+        ) == 0
+
+    def test_parallel(self):
+        assert segment_segment_distance2(
+            Point(0, 0), Point(10, 0), Point(0, 4), Point(10, 4)
+        ) == 16
+
+    def test_endpoint_to_interior(self):
+        assert segment_segment_distance2(
+            Point(0, 0), Point(10, 0), Point(5, 3), Point(5, 9)
+        ) == 9
+
+    @given(coords, coords, coords, coords, coords, coords, coords, coords)
+    def test_symmetric(self, a, b, c, d, e, f, g, h):
+        p1, p2, q1, q2 = Point(a, b), Point(c, d), Point(e, f), Point(g, h)
+        assert segment_segment_distance2(p1, p2, q1, q2) == pytest.approx(
+            segment_segment_distance2(q1, q2, p1, p2)
+        )
+
+    @given(coords, coords, coords, coords, coords, coords, coords, coords)
+    def test_matches_sampling(self, a, b, c, d, e, f, g, h):
+        p1, p2, q1, q2 = Point(a, b), Point(c, d), Point(e, f), Point(g, h)
+        d2 = segment_segment_distance2(p1, p2, q1, q2)
+        # Sample both segments; true distance can't exceed any sample pair.
+        best = min(
+            (p1.x + s / 20 * (p2.x - p1.x) - (q1.x + t / 20 * (q2.x - q1.x))) ** 2
+            + (p1.y + s / 20 * (p2.y - p1.y) - (q1.y + t / 20 * (q2.y - q1.y))) ** 2
+            for s in range(21)
+            for t in range(21)
+        )
+        assert d2 <= best + 1e-6
+
+
+class TestNearestSegmentToSegment:
+    def oracle(self, segments, query, exclude=None):
+        best = None
+        for i, s in enumerate(segments):
+            if i == exclude:
+                continue
+            d = segment_segment_distance2(query.start, query.end, s.start, s.end)
+            if best is None or d < best[1]:
+                best = (i, d)
+        return best
+
+    def test_matches_oracle_all_structures(self, any_structure):
+        rng = random.Random(101)
+        segs = random_planar_segments(rng)
+        idx = build_index(any_structure, segs)
+        for _ in range(10):
+            q = Segment(
+                rng.randint(0, 1000), rng.randint(0, 1000),
+                rng.randint(0, 1000), rng.randint(0, 1000),
+            )
+            got = nearest_segment_to_segment(idx, q)
+            want = self.oracle(segs, q)
+            assert got[1] == pytest.approx(want[1]), (q, got, want)
+
+    def test_exclude_self(self):
+        segs = [Segment(0, 0, 100, 0), Segment(0, 50, 100, 50)]
+        idx = build_index("R*", segs)
+        got = nearest_segment_to_segment(idx, segs[0], exclude=0)
+        assert got[0] == 1
+        assert got[1] == pytest.approx(2500)
+
+    def test_stored_segment_queries_itself_at_zero(self):
+        segs = [Segment(0, 0, 100, 0), Segment(0, 50, 100, 50)]
+        idx = build_index("PMR", segs)
+        got = nearest_segment_to_segment(idx, segs[0])
+        assert got == (0, 0.0)
+
+    def test_iter_nearest_with_segment_sorted(self):
+        rng = random.Random(102)
+        segs = random_planar_segments(rng, n_cells=4)
+        idx = build_index("R+", segs)
+        q = Segment(10, 10, 60, 80)
+        results = list(iter_nearest(idx, q))
+        dists = [d for _, d in results]
+        assert dists == sorted(dists)
+        assert len(results) == len(segs)

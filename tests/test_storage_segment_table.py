@@ -1,0 +1,124 @@
+"""Tests for the segment table and storage context."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Segment
+from repro.storage import SEGMENT_RECORD_BYTES, StorageContext, entries_per_page
+
+
+def make_context(page_size=1024, pool_pages=16):
+    return StorageContext.create(page_size=page_size, pool_pages=pool_pages)
+
+
+class TestLayout:
+    def test_paper_capacities(self):
+        """The capacities the paper states for 1 KiB pages."""
+        from repro.storage import (
+            BTREE_PAGE_HEADER_BYTES,
+            PMR_TUPLE_BYTES,
+            RTREE_PAGE_HEADER_BYTES,
+            RTREE_TUPLE_BYTES,
+        )
+
+        assert entries_per_page(1024, RTREE_TUPLE_BYTES, RTREE_PAGE_HEADER_BYTES) == 50
+        assert entries_per_page(1024, PMR_TUPLE_BYTES, BTREE_PAGE_HEADER_BYTES) == 120
+        assert entries_per_page(1024, SEGMENT_RECORD_BYTES) == 64
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            entries_per_page(0, 8)
+        with pytest.raises(ValueError):
+            entries_per_page(64, 128)
+        with pytest.raises(ValueError):
+            entries_per_page(100, 8, header_bytes=-1)
+
+
+class TestSegmentTable:
+    def test_append_assigns_sequential_ids(self):
+        ctx = make_context()
+        ids = [ctx.segments.append(Segment(i, i, i + 1, i + 1)) for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+        assert len(ctx.segments) == 5
+
+    def test_fetch_roundtrip(self):
+        ctx = make_context()
+        s = Segment(1, 2, 3, 4)
+        sid = ctx.segments.append(s)
+        assert ctx.segments.fetch(sid) == s
+
+    def test_fetch_counts_segment_comparison(self):
+        ctx = make_context()
+        sid = ctx.segments.append(Segment(0, 0, 1, 1))
+        before = ctx.counters.segment_comps
+        ctx.segments.fetch(sid)
+        ctx.segments.fetch(sid)
+        assert ctx.counters.segment_comps == before + 2
+
+    def test_peek_counts_nothing(self):
+        ctx = make_context()
+        sid = ctx.segments.append(Segment(0, 0, 1, 1))
+        ctx.pool.flush()
+        before = ctx.counters.snapshot()
+        assert ctx.segments.peek(sid) == Segment(0, 0, 1, 1)
+        assert ctx.counters.snapshot() == before
+
+    def test_fetch_out_of_range(self):
+        ctx = make_context()
+        with pytest.raises(IndexError):
+            ctx.segments.fetch(0)
+        ctx.segments.append(Segment(0, 0, 1, 1))
+        with pytest.raises(IndexError):
+            ctx.segments.fetch(1)
+        with pytest.raises(IndexError):
+            ctx.segments.fetch(-1)
+
+    def test_page_count_growth(self):
+        ctx = make_context(page_size=1024)
+        per_page = ctx.segments.per_page
+        assert per_page == 64
+        for i in range(per_page):
+            ctx.segments.append(Segment(i, 0, i, 1))
+        assert ctx.segments.page_count == 1
+        ctx.segments.append(Segment(0, 0, 0, 1))
+        assert ctx.segments.page_count == 2
+        assert ctx.segments.bytes_used == 2048
+
+    def test_locality_of_sequential_fetches(self):
+        """Fetching nearby ids must mostly hit the pool (paper's locality claim)."""
+        ctx = make_context()
+        for i in range(200):
+            ctx.segments.append(Segment(i, 0, i + 1, 0))
+        ctx.pool.clear()
+        before = ctx.counters.disk_reads
+        for i in range(64):
+            ctx.segments.fetch(i)
+        # 64 segments share one page: exactly one miss.
+        assert ctx.counters.disk_reads == before + 1
+
+    @given(st.lists(st.integers(0, 16383), min_size=4, max_size=400))
+    def test_roundtrip_many(self, values):
+        ctx = make_context(page_size=256, pool_pages=4)
+        segs = [
+            Segment(values[i], values[(i + 1) % len(values)], values[(i + 2) % len(values)], values[(i + 3) % len(values)])
+            for i in range(len(values))
+        ]
+        ids = ctx.segments.extend(segs)
+        for sid, s in zip(ids, segs):
+            assert ctx.segments.fetch(sid) == s
+            assert ctx.segments.peek(sid) == s
+
+
+class TestStorageContext:
+    def test_create_defaults(self):
+        ctx = StorageContext.create()
+        assert ctx.page_size == 1024
+        assert ctx.pool.capacity == 16
+        assert ctx.pool.counters is ctx.counters
+
+    def test_load_segments(self):
+        ctx = StorageContext.create()
+        ids = ctx.load_segments([Segment(0, 0, 1, 1), Segment(1, 1, 2, 2)])
+        assert ids == [0, 1]
+        assert len(ctx.segments) == 2

@@ -1,0 +1,57 @@
+"""Tests for the table/figure text renderers."""
+
+import pytest
+
+from repro.harness.normalized import NormalizedRange
+from repro.harness.tables import format_normalized, format_normalized_bars
+
+
+def ranges():
+    return [
+        NormalizedRange("R+", "Point1", "disk_accesses", 1.06, 1.14, 1.20),
+        NormalizedRange("R*", "Point1", "disk_accesses", 1.06, 1.13, 1.23),
+        NormalizedRange("R+", "Range", "disk_accesses", 0.90, 0.99, 1.07),
+        NormalizedRange("R*", "Range", "disk_accesses", 0.80, 0.83, 0.89),
+    ]
+
+
+class TestFormatNormalized:
+    def test_contains_rows(self):
+        text = format_normalized(ranges(), "Figure 8")
+        assert "Figure 8" in text
+        assert "Point1" in text and "Range" in text
+        assert "1.14" in text
+
+    def test_baseline_mentioned(self):
+        text = format_normalized(ranges(), "t", baseline="R*")
+        assert "R*" in text.splitlines()[1]
+
+
+class TestFormatNormalizedBars:
+    def test_bar_geometry(self):
+        text = format_normalized_bars(ranges(), "Figure 8")
+        lines = [l for l in text.splitlines()[2:] if "=" in l or "*" in l]
+        assert len(lines) == 4
+        for line in lines:
+            assert "*" in line  # average marker present
+
+    def test_averages_printed(self):
+        text = format_normalized_bars(ranges(), "t")
+        assert " 1.14" in text and " 0.83" in text
+
+    def test_wider_range_longer_bar(self):
+        text = format_normalized_bars(ranges(), "t", width=60)
+        by_label = {}
+        for line in text.splitlines():
+            if "Point1" in line and "R*" in line:
+                by_label["wide"] = line.count("=")
+            if "Range" in line and "R*" in line:
+                by_label["narrow"] = line.count("=")
+        assert by_label["wide"] >= by_label["narrow"]
+
+    def test_empty_input(self):
+        assert "(no data)" in format_normalized_bars([], "t")
+
+    def test_baseline_tick_present(self):
+        text = format_normalized_bars(ranges(), "t")
+        assert "|" in text
