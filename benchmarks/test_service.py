@@ -1,0 +1,78 @@
+"""Service-layer benchmarks: concurrent serving and batch scheduling.
+
+Two claims the service subsystem makes measurable:
+
+* a 4-thread closed-loop TCP workload completes with zero errors, the
+  per-session counters summing exactly to the shared pool's totals, and
+  a non-trivial result-cache hit rate on a skewed workload;
+* executing a shuffled query batch sorted by the Morton key of each
+  query's centroid costs fewer buffer-pool misses than arrival order —
+  on every structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.harness import build_structure
+from repro.service import BatchExecutor, QueryEngine, bench_serve
+
+from benchmarks.conftest import SCALE, write_result
+
+
+def test_bench_serve_four_threads(benchmark):
+    report = benchmark.pedantic(
+        lambda: bench_serve(
+            county="cecil", scale=SCALE, structure="R*", threads=4,
+            requests=200, seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "service_bench.txt",
+        "\n".join(
+            [
+                f"structure: {report.structure}",
+                f"segments: {report.segments}",
+                f"threads: {report.threads}",
+                f"requests: {report.requests} errors: {report.errors}",
+                f"throughput_qps: {report.throughput_qps:.0f}",
+                f"latency_ms: {report.latency_ms}",
+                f"cache: {report.cache}",
+                f"batch_comparison: {report.batch_comparison}",
+                f"counters_consistent: {report.counters_consistent}",
+            ]
+        ),
+    )
+    assert report.errors == 0
+    assert report.counters_consistent
+    assert report.batch_comparison["morton"] <= report.batch_comparison["arrival"]
+
+
+def test_morton_batching_beats_arrival_everywhere(benchmark, county_maps):
+    def run():
+        cecil = county_maps["cecil"]
+        rng = random.Random(5)
+        requests = []
+        for _ in range(200):
+            seg = cecil.segments[rng.randrange(len(cecil))]
+            requests.append({"op": "point", "x": seg.x1, "y": seg.y1})
+        rng.shuffle(requests)
+        out = {}
+        for name in ("R*", "R+", "PMR"):
+            engine = QueryEngine(build_structure(name, cecil).index)
+            comparison = BatchExecutor(engine).compare_orders(requests)
+            out[name] = {
+                "arrival": comparison["arrival"].disk_accesses,
+                "morton": comparison["morton"].disk_accesses,
+            }
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "service_batch_order.txt",
+        "\n".join(f"{k}: {v}" for k, v in out.items()),
+    )
+    for name, row in out.items():
+        assert row["morton"] < row["arrival"], name

@@ -12,6 +12,12 @@ Regenerates any of the paper's tables and figures from the terminal:
 ``--scale`` is the fraction of the paper's ~50 000 segments per county
 (default 0.05); ``--queries`` the number of queries per workload
 (default 100; the paper used 1000).
+
+The service layer adds three more subcommands::
+
+    python -m repro snapshot --out county.snap   # build + save an index
+    python -m repro serve --snapshot county.snap # JSON-over-TCP server
+    python -m repro bench-serve --threads 4      # concurrent load test
 """
 
 from __future__ import annotations
@@ -24,6 +30,89 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.05)
     parser.add_argument("--queries", type=int, default=100)
     parser.add_argument("--county", default="charles")
+
+
+def _build_or_open(args):
+    """An index for the service commands: open a snapshot or build fresh."""
+    from repro.service import open_index
+    from repro.storage import CodecError
+
+    if getattr(args, "snapshot", None):
+        try:
+            return open_index(args.snapshot)
+        except FileNotFoundError:
+            sys.exit(f"error: snapshot not found: {args.snapshot}")
+        except CodecError as exc:
+            sys.exit(f"error: cannot open {args.snapshot}: {exc}")
+    from repro.data import generate_county
+    from repro.harness.experiment import build_structure
+
+    built = build_structure(
+        args.structure, generate_county(args.county, scale=args.scale)
+    )
+    return built.index
+
+
+def _cmd_snapshot(args) -> int:
+    from repro.data import generate_county
+    from repro.harness.experiment import build_structure
+    from repro.service import save_index
+
+    built = build_structure(
+        args.structure, generate_county(args.county, scale=args.scale)
+    )
+    pages = save_index(built.index, args.out)
+    print(
+        f"saved {args.structure} over {args.county} (scale {args.scale}): "
+        f"{pages} pages -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import MapServer, QueryEngine
+
+    index = _build_or_open(args)
+    engine = QueryEngine(index, cache_capacity=args.cache_size)
+    server = MapServer(engine, host=args.host, port=args.port)
+    host, port = server.address
+    print(
+        f"serving {index.name} ({len(index.ctx.segments)} segments) "
+        f"on {host}:{port} -- newline-delimited JSON, e.g. "
+        f'{{"op": "window", "x1": 0, "y1": 0, "x2": 500, "y2": 500}}'
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.service import bench_serve, format_bench_report
+    from repro.storage import CodecError
+
+    try:
+        report = bench_serve(
+            county=args.county,
+            scale=args.scale,
+            structure=args.structure,
+            threads=args.threads,
+            requests=args.requests,
+            snapshot=args.snapshot,
+            cache_capacity=args.cache_size,
+            seed=args.seed,
+        )
+    except FileNotFoundError:
+        sys.exit(f"error: snapshot not found: {args.snapshot}")
+    except CodecError as exc:
+        sys.exit(f"error: cannot open {args.snapshot}: {exc}")
+    print(format_bench_report(report))
+    if report.errors or not report.counters_consistent:
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -47,7 +136,37 @@ def main(argv=None) -> int:
         _add_common(p)
         if name == "report":
             p.add_argument("--out", default=None, help="write markdown here")
+
+    p = sub.add_parser("snapshot", help="build an index and save it to disk")
+    _add_common(p)
+    p.add_argument("--structure", default="R*", choices=["R*", "R+", "PMR", "R"])
+    p.add_argument("--out", required=True, help="snapshot file to write")
+
+    p = sub.add_parser("serve", help="serve an index over JSON-over-TCP")
+    _add_common(p)
+    p.add_argument("--structure", default="R*", choices=["R*", "R+", "PMR", "R"])
+    p.add_argument("--snapshot", default=None, help="open this snapshot instead of building")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--cache-size", type=int, default=256)
+
+    p = sub.add_parser("bench-serve", help="drive a server with K client threads")
+    _add_common(p)
+    p.add_argument("--structure", default="R*", choices=["R*", "R+", "PMR", "R"])
+    p.add_argument("--snapshot", default=None, help="open this snapshot instead of building")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--cache-size", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
+
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args)
 
     # Imports deferred so `--help` stays instant.
     from repro.data import generate_county

@@ -1,0 +1,47 @@
+"""The map-server subsystem: snapshots, a concurrent query service, and
+a JSON-over-TCP front end.
+
+The rest of the package builds and measures Hoel & Samet's structures;
+this package *serves* them:
+
+* :mod:`repro.service.snapshot` -- :func:`save_index` / :func:`open_index`
+  persist a built index (pages **and** manifest: kind, root page, height,
+  parameters, segment-table head) so a loaded snapshot is queryable with
+  zero rebuild inserts.
+* :mod:`repro.service.engine` -- :class:`QueryEngine`, a thread-safe read
+  path: one shared buffer pool behind a counted latch, per-session metric
+  attribution, and an invalidating LRU result cache.
+* :mod:`repro.service.cache` -- the :class:`ResultCache` LRU.
+* :mod:`repro.service.batch` -- :class:`BatchExecutor`, which reorders
+  grouped queries by the Morton key of their centroid to maximize
+  buffer-pool reuse.
+* :mod:`repro.service.server` -- :class:`MapServer`, a threaded
+  line-delimited-JSON TCP server (``python -m repro serve``).
+* :mod:`repro.service.loadgen` -- ``python -m repro bench-serve``: a
+  multi-threaded load generator reporting throughput, latency
+  percentiles, cache hit rate, and disk accesses.
+"""
+
+from repro.service.batch import BatchExecutor, BatchResult, morton_key
+from repro.service.cache import ResultCache
+from repro.service.engine import QueryEngine, QuerySession
+from repro.service.loadgen import BenchReport, bench_serve, format_bench_report
+from repro.service.server import MapServer, send_request
+from repro.service.snapshot import open_index, save_index, snapshot_info
+
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "BenchReport",
+    "MapServer",
+    "QueryEngine",
+    "QuerySession",
+    "ResultCache",
+    "bench_serve",
+    "format_bench_report",
+    "morton_key",
+    "open_index",
+    "save_index",
+    "send_request",
+    "snapshot_info",
+]

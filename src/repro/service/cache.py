@@ -1,0 +1,86 @@
+"""An invalidating LRU result cache for the query service.
+
+Keys are ``(query kind, canonicalized argument tuple)``; values are the
+fully-verified query results (lists of segment ids, or ``(id, dist2)``
+pairs for nearest queries). The cache is write-through-invalidated: any
+``insert`` or ``delete`` on the served index clears it entirely, since a
+single segment can change the answer of arbitrarily many cached queries
+(a nearest result can be displaced by a segment far outside any cached
+window).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Tuple
+
+
+class ResultCache:
+    """Thread-safe LRU over canonicalized query keys.
+
+    ``hits`` / ``misses`` count lookups; ``invalidations`` counts full
+    clears triggered by index mutations.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def lookup(self, key: Hashable) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; moves a hit to most-recently-used."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (called on any index mutation)."""
+        with self._lock:
+            self._entries.clear()
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,271 @@
+"""A thread-safe, metered read path over one spatial index.
+
+The storage substrate is single-threaded by design (the paper measures a
+solitary structure); a server is not. The :class:`QueryEngine` makes the
+shared stack safe and attributable:
+
+* **Latching** -- every traversal (and every counter swap) runs under one
+  :class:`~repro.storage.latch.Latch` guarding the shared buffer pool, so
+  N worker threads can issue queries concurrently without corrupting
+  frames, the replacement policy, or the counters. The latch counts
+  contended acquisitions for the server's stats endpoint.
+* **Per-session attribution** -- each session owns a
+  :class:`~repro.storage.counters.MetricsCounters`. A query runs against
+  a scratch counter set that is merged into both the session's counters
+  and the engine totals, so at any instant the session counters sum
+  exactly to the shared pool's totals (the ``counters_consistent`` check;
+  the bench harness asserts it after every run).
+* **Result caching** -- queries are memoized in an LRU
+  (:class:`~repro.service.cache.ResultCache`) keyed on the canonicalized
+  query; any ``insert``/``delete`` invalidates the whole cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.queries import (
+    nearest_k_segments,
+    segments_at_point,
+    window_query,
+)
+from repro.geometry import Point, Rect, Segment
+from repro.storage.counters import MetricsCounters
+from repro.storage.latch import Latch
+
+
+class QuerySession:
+    """One client's view of the service: counters and query tally."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters = MetricsCounters()
+        self.queries = 0
+        self.cache_hits = 0
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "disk_accesses": self.counters.disk_accesses,
+            "disk_writes": self.counters.disk_writes,
+            "buffer_hits": self.counters.buffer_hits,
+            "segment_comps": self.counters.segment_comps,
+            "bbox_comps": self.counters.bbox_comps,
+        }
+
+
+class QueryEngine:
+    """Concurrent point/window/nearest service over one built index."""
+
+    def __init__(self, index, cache_capacity: int = 256) -> None:
+        from repro.service.cache import ResultCache  # avoid import cycle
+
+        self.index = index
+        self.ctx = index.ctx
+        self.latch = Latch("buffer-pool")
+        self.cache = ResultCache(cache_capacity)
+        self.totals = MetricsCounters()
+        self._sessions: Dict[str, QuerySession] = {}
+        self._sessions_lock = threading.Lock()
+        self._anon = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def session(self, name: Optional[str] = None) -> QuerySession:
+        """Create or fetch the session named ``name`` (fresh name if None)."""
+        with self._sessions_lock:
+            if name is None:
+                name = f"session-{next(self._anon)}"
+            session = self._sessions.get(name)
+            if session is None:
+                session = self._sessions[name] = QuerySession(name)
+            return session
+
+    def sessions(self) -> List[QuerySession]:
+        with self._sessions_lock:
+            return list(self._sessions.values())
+
+    def counters_consistent(self) -> bool:
+        """Do the per-session counters sum to the shared totals?"""
+        total = MetricsCounters()
+        for session in self.sessions():
+            total.merge(session.counters)
+        return total == self.totals
+
+    # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _attributed(self, session: QuerySession):
+        """Run index work under the pool latch, charging ``session``.
+
+        The shared context's counters are swapped for a scratch set for
+        the duration, then the scratch deltas are merged into both the
+        session counters and the engine totals. The swap is safe because
+        it happens under the same latch that serializes all pool traffic.
+        """
+        with self.latch:
+            ctx, pool = self.ctx, self.ctx.pool
+            scratch = MetricsCounters()
+            saved_ctx, saved_pool = ctx.counters, pool.counters
+            ctx.counters = pool.counters = scratch
+            try:
+                yield
+            finally:
+                ctx.counters, pool.counters = saved_ctx, saved_pool
+                session.counters.merge(scratch)
+                self.totals.merge(scratch)
+
+    def _run(self, key, session: Optional[QuerySession], use_cache: bool, thunk):
+        if session is None:
+            session = self.session("default")
+        session.queries += 1
+        if use_cache:
+            hit, value = self.cache.lookup(key)
+            if hit:
+                session.cache_hits += 1
+                return value
+        with self._attributed(session):
+            value = thunk()
+        if use_cache:
+            self.cache.store(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Read queries
+    # ------------------------------------------------------------------
+    def point(
+        self,
+        x: float,
+        y: float,
+        session: Optional[QuerySession] = None,
+        use_cache: bool = True,
+    ) -> List[int]:
+        """Query 1: ids of segments with an endpoint at ``(x, y)``."""
+        x, y = float(x), float(y)
+        key = ("point", x, y)
+        return self._run(
+            key, session, use_cache, lambda: segments_at_point(self.index, Point(x, y))
+        )
+
+    def window(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        mode: str = "intersects",
+        session: Optional[QuerySession] = None,
+        use_cache: bool = True,
+    ) -> List[int]:
+        """Query 5: ids of segments meeting the (canonicalized) window."""
+        lo_x, hi_x = sorted((float(x1), float(x2)))
+        lo_y, hi_y = sorted((float(y1), float(y2)))
+        key = ("window", lo_x, lo_y, hi_x, hi_y, mode)
+        rect = Rect(lo_x, lo_y, hi_x, hi_y)
+        return self._run(
+            key, session, use_cache, lambda: window_query(self.index, rect, mode=mode)
+        )
+
+    def nearest(
+        self,
+        x: float,
+        y: float,
+        k: int = 1,
+        session: Optional[QuerySession] = None,
+        use_cache: bool = True,
+    ) -> List[Tuple[int, float]]:
+        """Query 3 (k-nearest): ``(seg_id, dist^2)`` pairs, nearest first."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        x, y = float(x), float(y)
+        key = ("nearest", x, y, k)
+        return self._run(
+            key,
+            session,
+            use_cache,
+            lambda: nearest_k_segments(self.index, Point(x, y), k),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations (invalidate the cache)
+    # ------------------------------------------------------------------
+    def insert_segment(
+        self, segment: Segment, session: Optional[QuerySession] = None
+    ) -> int:
+        """Append a segment to the table, index it, invalidate the cache."""
+        if session is None:
+            session = self.session("maintenance")
+        with self._attributed(session):
+            seg_id = self.ctx.segments.append(segment)
+            self.index.insert(seg_id)
+        self.cache.invalidate_all()
+        return seg_id
+
+    def insert(self, seg_id: int, session: Optional[QuerySession] = None) -> None:
+        """Index an already-stored segment, invalidating the cache."""
+        if session is None:
+            session = self.session("maintenance")
+        with self._attributed(session):
+            self.index.insert(seg_id)
+        self.cache.invalidate_all()
+
+    def delete(self, seg_id: int, session: Optional[QuerySession] = None) -> None:
+        """Unindex a segment, invalidating the cache."""
+        if session is None:
+            session = self.session("maintenance")
+        with self._attributed(session):
+            self.index.delete(seg_id)
+        self.cache.invalidate_all()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def cold_start(self) -> None:
+        """Flush and empty the shared pool (measurement hygiene)."""
+        with self.latch:
+            self.ctx.pool.clear()
+
+    def stats(self) -> dict:
+        """A full observability snapshot for the server's stats op."""
+        with self.latch:
+            pool = self.ctx.pool
+            disk = self.ctx.disk
+            snapshot = {
+                "index": {
+                    "kind": self.index.name,
+                    "segments": len(self.ctx.segments),
+                    "entries": self.index.entry_count(),
+                    "height": self.index.height(),
+                    "pages": self.index.page_count(),
+                },
+                "totals": {
+                    "disk_accesses": self.totals.disk_accesses,
+                    "disk_writes": self.totals.disk_writes,
+                    "buffer_hits": self.totals.buffer_hits,
+                    "segment_comps": self.totals.segment_comps,
+                    "bbox_comps": self.totals.bbox_comps,
+                },
+                "pool": {
+                    "capacity": pool.capacity,
+                    "resident": len(pool),
+                    "dirty": len(pool.dirty_pages()),
+                },
+                "disk": {
+                    "pages": len(disk),
+                    "free_ids": disk.free_page_count,
+                    "physical_reads": disk.physical_reads,
+                    "physical_writes": disk.physical_writes,
+                },
+                "latch": self.latch.stats(),
+                "cache": self.cache.stats(),
+                "sessions": [s.stats() for s in self.sessions()],
+                "counters_consistent": self.counters_consistent(),
+            }
+        return snapshot

@@ -1,0 +1,254 @@
+"""``python -m repro bench-serve``: a concurrent load generator.
+
+Builds (or reopens from a snapshot) one index, starts a
+:class:`~repro.service.server.MapServer` on an ephemeral port, then
+drives it with K client threads issuing a mixed point/window/nearest
+workload over real TCP connections. Reports throughput, latency
+percentiles, cache hit rate, disk accesses, latch contention, and the
+per-session/total counter consistency check, then measures the batch
+executor's Morton-order scheduling against arrival order on a cold pool.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.batch import BatchExecutor, Request
+from repro.service.engine import QueryEngine
+from repro.service.server import MapServer
+from repro.service.snapshot import open_index
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of an ascending list (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass
+class BenchReport:
+    """Everything one ``bench-serve`` run measured."""
+
+    structure: str
+    source: str
+    segments: int
+    threads: int
+    requests: int
+    errors: int
+    elapsed_seconds: float
+    throughput_qps: float
+    latency_ms: Dict[str, float]
+    cache: Dict[str, Any]
+    latch: Dict[str, Any]
+    totals: Dict[str, int]
+    counters_consistent: bool
+    batch_comparison: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def batch_improvement(self) -> float:
+        """Fractional disk-access reduction of Morton over arrival order."""
+        arrival = self.batch_comparison.get("arrival", 0)
+        morton = self.batch_comparison.get("morton", 0)
+        return (arrival - morton) / arrival if arrival else 0.0
+
+
+def _workload(
+    index, n: int, rng: random.Random, window_frac: float = 0.03
+) -> List[Request]:
+    """A mixed workload drawn from the served map itself.
+
+    Query sites come from stored segments via :meth:`SegmentTable.peek`
+    (no pool traffic, so generation does not perturb the measurements);
+    the mix is 50% point, 30% window, 20% nearest.
+    """
+    table = index.ctx.segments
+    count = len(table)
+    if count == 0:
+        raise ValueError("cannot generate a workload over an empty index")
+    sample = [table.peek(rng.randrange(count)) for _ in range(min(count, 256))]
+    xs = [c for s in sample for c in (s.x1, s.x2)]
+    ys = [c for s in sample for c in (s.y1, s.y2)]
+    extent = max(max(xs) - min(xs), max(ys) - min(ys), 1.0)
+    half = extent * window_frac / 2.0
+
+    requests: List[Request] = []
+    for _ in range(n):
+        seg = table.peek(rng.randrange(count))
+        roll = rng.random()
+        if roll < 0.5:
+            x, y = (seg.x1, seg.y1) if rng.random() < 0.5 else (seg.x2, seg.y2)
+            requests.append({"op": "point", "x": x, "y": y})
+        elif roll < 0.8:
+            cx = (seg.x1 + seg.x2) / 2.0
+            cy = (seg.y1 + seg.y2) / 2.0
+            requests.append(
+                {
+                    "op": "window",
+                    "x1": cx - half,
+                    "y1": cy - half,
+                    "x2": cx + half,
+                    "y2": cy + half,
+                }
+            )
+        else:
+            requests.append(
+                {
+                    "op": "nearest",
+                    "x": seg.x1 + rng.uniform(-half, half),
+                    "y": seg.y1 + rng.uniform(-half, half),
+                    "k": rng.randint(1, 3),
+                }
+            )
+    return requests
+
+
+def _client(
+    address: Tuple[str, int],
+    requests: List[Request],
+    latencies: List[float],
+    errors: List[int],
+) -> None:
+    """One client thread: a single connection, requests in sequence."""
+    failed = 0
+    with socket.create_connection(address, timeout=60.0) as sock:
+        with sock.makefile("rwb") as fh:
+            for request in requests:
+                start = time.perf_counter()
+                fh.write(json.dumps(request).encode("utf-8") + b"\n")
+                fh.flush()
+                line = fh.readline()
+                latencies.append(time.perf_counter() - start)
+                if not line or not json.loads(line).get("ok"):
+                    failed += 1
+    errors.append(failed)
+
+
+def bench_serve(
+    county: str = "charles",
+    scale: float = 0.02,
+    structure: str = "R*",
+    threads: int = 4,
+    requests: int = 200,
+    snapshot: Optional[str] = None,
+    cache_capacity: int = 256,
+    batch_queries: int = 120,
+    seed: int = 0,
+) -> BenchReport:
+    """Run the full closed-loop benchmark; see the module docstring."""
+    import threading as _threading
+
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if snapshot is not None:
+        index = open_index(snapshot)
+        source = f"snapshot:{snapshot}"
+    else:
+        from repro.data import generate_county
+        from repro.harness.experiment import build_structure
+
+        built = build_structure(structure, generate_county(county, scale=scale))
+        index = built.index
+        source = f"built:{county}@{scale}"
+
+    engine = QueryEngine(index, cache_capacity=cache_capacity)
+    server = MapServer(engine)
+    server.start_background()
+    try:
+        rng = random.Random(seed)
+        workload = _workload(index, requests, rng)
+        shares = [workload[i::threads] for i in range(threads)]
+        latencies: List[float] = []
+        errors: List[int] = []
+        per_thread: List[List[float]] = [[] for _ in range(threads)]
+        workers = [
+            _threading.Thread(
+                target=_client,
+                args=(server.address, shares[i], per_thread[i], errors),
+            )
+            for i in range(threads)
+        ]
+        start = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - start
+        for bucket in per_thread:
+            latencies.extend(bucket)
+        latencies.sort()
+
+        # Batch scheduling study: same requests, cold pool, cache off.
+        compare_load = [
+            r for r in _workload(index, batch_queries, random.Random(seed + 1))
+            if r["op"] in ("point", "window")
+        ]
+        comparison = BatchExecutor(engine).compare_orders(compare_load)
+
+        report = BenchReport(
+            structure=index.name,
+            source=source,
+            segments=len(index.ctx.segments),
+            threads=threads,
+            requests=len(latencies),
+            errors=sum(errors),
+            elapsed_seconds=elapsed,
+            throughput_qps=len(latencies) / elapsed if elapsed > 0 else 0.0,
+            latency_ms={
+                "p50": percentile(latencies, 0.50) * 1e3,
+                "p90": percentile(latencies, 0.90) * 1e3,
+                "p99": percentile(latencies, 0.99) * 1e3,
+                "max": (latencies[-1] if latencies else 0.0) * 1e3,
+            },
+            cache=engine.cache.stats(),
+            latch=engine.latch.stats(),
+            totals=dict(engine.stats()["totals"]),
+            counters_consistent=engine.counters_consistent(),
+            batch_comparison={
+                order: result.disk_accesses
+                for order, result in comparison.items()
+            },
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+    return report
+
+
+def format_bench_report(report: BenchReport) -> str:
+    lat = report.latency_ms
+    lines = [
+        f"map server benchmark -- {report.structure} over {report.source}",
+        f"  segments        {report.segments}",
+        f"  clients         {report.threads} threads, 1 connection each",
+        f"  requests        {report.requests} ({report.errors} errors)",
+        f"  elapsed         {report.elapsed_seconds:.3f} s "
+        f"({report.throughput_qps:.0f} q/s)",
+        f"  latency (ms)    p50={lat['p50']:.2f}  p90={lat['p90']:.2f}  "
+        f"p99={lat['p99']:.2f}  max={lat['max']:.2f}",
+        f"  cache           {report.cache['hits']} hits / "
+        f"{report.cache['misses']} misses "
+        f"(hit rate {report.cache['hit_rate']:.0%}, "
+        f"{report.cache['invalidations']} invalidations)",
+        f"  disk accesses   {report.totals['disk_accesses']} "
+        f"(buffer hits {report.totals['buffer_hits']})",
+        f"  latch           {report.latch['acquisitions']} acquisitions, "
+        f"{report.latch['contended']} contended",
+        f"  counters        per-session sums match totals: "
+        f"{report.counters_consistent}",
+    ]
+    if report.batch_comparison:
+        arrival = report.batch_comparison["arrival"]
+        morton = report.batch_comparison["morton"]
+        lines.append(
+            f"  batch order     arrival={arrival} vs morton={morton} disk "
+            f"accesses ({report.batch_improvement:.0%} fewer via Morton sort)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""JSON-over-TCP front end for the query engine.
+
+Protocol: newline-delimited JSON objects, one request per line, one
+response per line, over a plain TCP connection. Each connection gets its
+own :class:`~repro.service.engine.QuerySession`, so the stats endpoint
+attributes disk accesses and comparisons per client.
+
+Requests (``op`` selects the operation)::
+
+    {"op": "ping"}
+    {"op": "point", "x": 120, "y": 460}
+    {"op": "window", "x1": 0, "y1": 0, "x2": 200, "y2": 200,
+     "mode": "intersects"}
+    {"op": "nearest", "x": 120, "y": 460, "k": 3}
+    {"op": "batch", "requests": [...], "order": "morton"}
+    {"op": "insert", "x1": 0, "y1": 0, "x2": 10, "y2": 10}
+    {"op": "delete", "seg_id": 17}
+    {"op": "stats"}
+
+Responses are ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": "..."}``. Malformed lines produce an error
+response; the connection stays open until the client closes it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.geometry import Segment
+from repro.service.batch import BatchExecutor
+from repro.service.engine import QueryEngine
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "MapServer" = self.server  # type: ignore[assignment]
+        session = server.engine.session(f"conn-{next(server.connection_ids)}")
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                response = {"ok": True, "result": server.dispatch(request, session)}
+            except Exception as exc:  # serve errors back, keep the connection
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+
+class MapServer(socketserver.ThreadingTCPServer):
+    """A threaded map server over one :class:`QueryEngine`.
+
+    Worker threads (one per connection) share the engine's buffer pool
+    under its latch; the cache and batch executor are shared too.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self, engine: QueryEngine, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.engine = engine
+        self.batch = BatchExecutor(engine)
+        self.connection_ids = itertools.count(1)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.server_address[:2]
+        return host, port
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns the (started) thread."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="map-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Dict[str, Any], session) -> Any:
+        op = request.get("op")
+        engine = self.engine
+        if op == "ping":
+            return "pong"
+        if op == "point":
+            return engine.point(request["x"], request["y"], session=session)
+        if op == "window":
+            return engine.window(
+                request["x1"],
+                request["y1"],
+                request["x2"],
+                request["y2"],
+                mode=request.get("mode", "intersects"),
+                session=session,
+            )
+        if op == "nearest":
+            return engine.nearest(
+                request["x"],
+                request["y"],
+                k=int(request.get("k", 1)),
+                session=session,
+            )
+        if op == "batch":
+            result = self.batch.execute(
+                request["requests"],
+                session=session,
+                order=request.get("order", "morton"),
+                use_cache=bool(request.get("use_cache", True)),
+            )
+            return {
+                "results": result.results,
+                "order": result.order,
+                "disk_accesses": result.disk_accesses,
+            }
+        if op == "insert":
+            segment = Segment(
+                request["x1"], request["y1"], request["x2"], request["y2"]
+            )
+            return engine.insert_segment(segment, session=session)
+        if op == "delete":
+            engine.delete(int(request["seg_id"]), session=session)
+            return True
+        if op == "stats":
+            return engine.stats()
+        raise ValueError(f"unknown op {op!r}")
+
+
+def send_request(
+    address: Tuple[str, int],
+    request: Dict[str, Any],
+    timeout: Optional[float] = 10.0,
+) -> Dict[str, Any]:
+    """One-shot client: connect, send one request, return the response."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        with sock.makefile("rb") as fh:
+            line = fh.readline()
+    if not line:
+        raise ConnectionError("server closed the connection without replying")
+    return json.loads(line)

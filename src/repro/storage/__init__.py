@@ -20,9 +20,11 @@ package provides exactly that measurement apparatus:
 """
 
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.codec import CodecError
 from repro.storage.context import StorageContext
 from repro.storage.counters import MetricsCounters, MetricsSnapshot
 from repro.storage.disk import DiskManager, PageNotAllocatedError
+from repro.storage.latch import Latch
 from repro.storage.layout import (
     BTREE_PAGE_HEADER_BYTES,
     PMR_TUPLE_BYTES,
@@ -38,9 +40,11 @@ __all__ = [
     "BTREE_PAGE_HEADER_BYTES",
     "BufferPool",
     "ClockPolicy",
+    "CodecError",
     "DiskManager",
     "FIFOPolicy",
     "LRUPolicy",
+    "Latch",
     "MetricsCounters",
     "MetricsSnapshot",
     "PMR_TUPLE_BYTES",

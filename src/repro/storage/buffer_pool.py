@@ -119,6 +119,15 @@ class BufferPool:
     def resident_pages(self) -> frozenset:
         return frozenset(self._frames)
 
+    def dirty_pages(self) -> frozenset:
+        """Ids of resident pages whose payload has not been written back."""
+        return frozenset(
+            page_id for page_id, frame in self._frames.items() if frame.dirty
+        )
+
+    def has_dirty(self) -> bool:
+        return any(frame.dirty for frame in self._frames.values())
+
     def __len__(self) -> int:
         return len(self._frames)
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, BinaryIO, Dict, List, Tuple
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple
 
 from repro.btree.node import InternalNode, LeafNode
 from repro.core.rplus.node import RPlusNode
@@ -181,13 +181,35 @@ def _payload_kind(payload: Any) -> str:
     raise CodecError(f"no codec for payload of type {type(payload).__name__}")
 
 
-def dump_database(disk: DiskManager, fh: BinaryIO) -> int:
+def dump_database(
+    disk: DiskManager,
+    fh: BinaryIO,
+    manifest: Optional[Dict[str, Any]] = None,
+    pool=None,
+) -> int:
     """Write every allocated page of a simulated disk to ``fh``.
 
     Returns the number of pages written. Pages are serialized with the
     codec matching their payload type; the JSON header records enough to
-    reallocate them on load.
+    reallocate them on load (including the free list and the physical
+    read/write history, so a reloaded disk is indistinguishable from the
+    original).
+
+    ``manifest`` is an arbitrary JSON-serializable object stored in the
+    header; the service layer uses it to record which index lives in the
+    snapshot (see :mod:`repro.service.snapshot`).
+
+    ``pool`` is the buffer pool in front of ``disk``, if any. Passing it
+    arms the staleness guard: dumping while the pool holds dirty
+    (unflushed) pages raises :class:`CodecError`, because the disk's
+    payloads would not reflect the latest mutations. Flush first.
     """
+    if pool is not None and pool.has_dirty():
+        dirty = sorted(pool.dirty_pages())
+        raise CodecError(
+            f"buffer pool holds {len(dirty)} dirty page(s) {dirty[:8]}...; "
+            f"flush before dumping or the snapshot would persist stale pages"
+        )
     pages: Dict[int, Tuple[str, bytes]] = {}
     for page_id, payload in sorted(disk._pages.items()):
         kind = _payload_kind(payload)
@@ -195,8 +217,13 @@ def dump_database(disk: DiskManager, fh: BinaryIO) -> int:
         pages[page_id] = (kind, encoder(payload, disk.page_size))
 
     header = {
+        "format": 2,
         "page_size": disk.page_size,
         "next_id": disk._next_id,
+        "free_ids": sorted(disk._free_ids),
+        "physical_reads": disk.physical_reads,
+        "physical_writes": disk.physical_writes,
+        "manifest": manifest,
         "pages": [
             {"id": pid, "kind": kind, "length": len(blob)}
             for pid, (kind, blob) in pages.items()
@@ -210,14 +237,42 @@ def dump_database(disk: DiskManager, fh: BinaryIO) -> int:
     return len(pages)
 
 
-def load_database(fh: BinaryIO) -> DiskManager:
-    """Rebuild a simulated disk written by :func:`dump_database`."""
-    (header_len,) = struct.unpack("<I", fh.read(4))
-    header = json.loads(fh.read(header_len).decode("utf-8"))
+def read_header(fh: BinaryIO) -> Dict[str, Any]:
+    """Read only the JSON header of a dumped database (no page decoding).
+
+    Raises :class:`CodecError` when ``fh`` does not start with a header
+    written by :func:`dump_database` (truncated, corrupt, or not a dump
+    at all).
+    """
+    prefix = fh.read(4)
+    if len(prefix) != 4:
+        raise CodecError("not a database dump: file shorter than its header")
+    (header_len,) = struct.unpack("<I", prefix)
+    try:
+        header = json.loads(fh.read(header_len).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"not a database dump: malformed header ({exc})") from exc
+    if not isinstance(header, dict) or "pages" not in header:
+        raise CodecError("not a database dump: header lacks a page table")
+    return header
+
+
+def load_snapshot(fh: BinaryIO) -> Tuple[DiskManager, Optional[Dict[str, Any]]]:
+    """Rebuild a dumped disk, returning it with the stored manifest."""
+    header = read_header(fh)
     disk = DiskManager(page_size=header["page_size"])
     for meta in header["pages"]:
         blob = fh.read(meta["length"])
         _, decoder = _PAYLOAD_CODECS[meta["kind"]]
         disk._pages[meta["id"]] = decoder(blob)
     disk._next_id = header["next_id"]
+    disk._free_ids = list(header.get("free_ids", []))
+    disk.physical_reads = header.get("physical_reads", 0)
+    disk.physical_writes = header.get("physical_writes", 0)
+    return disk, header.get("manifest")
+
+
+def load_database(fh: BinaryIO) -> DiskManager:
+    """Rebuild a simulated disk written by :func:`dump_database`."""
+    disk, _ = load_snapshot(fh)
     return disk

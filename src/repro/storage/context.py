@@ -42,6 +42,28 @@ class StorageContext:
         table = SegmentTable(pool)
         return cls(disk=disk, counters=counters, pool=pool, segments=table)
 
+    @classmethod
+    def from_disk(
+        cls,
+        disk: DiskManager,
+        pool_pages: int = 16,
+        policy: Optional[ReplacementPolicy] = None,
+        segment_page_ids: Optional[List[int]] = None,
+        segment_count: int = 0,
+    ) -> "StorageContext":
+        """Build a stack over an existing (e.g. snapshot-loaded) disk.
+
+        When ``segment_page_ids`` is given the segment table is re-bound
+        to those pages instead of starting empty.
+        """
+        counters = MetricsCounters()
+        pool = BufferPool(disk, capacity=pool_pages, counters=counters, policy=policy)
+        if segment_page_ids is None:
+            table = SegmentTable(pool)
+        else:
+            table = SegmentTable.attach(pool, segment_page_ids, segment_count)
+        return cls(disk=disk, counters=counters, pool=pool, segments=table)
+
     @property
     def page_size(self) -> int:
         return self.disk.page_size

@@ -76,6 +76,20 @@ class MetricsCounters:
         """Counter deltas accumulated since ``start`` was taken."""
         return self.snapshot() - start
 
+    def merge(self, other: "MetricsCounters | MetricsSnapshot") -> None:
+        """Accumulate another counter set into this one.
+
+        The service layer's per-session attribution relies on this: each
+        query runs against a scratch counter set which is then merged into
+        both the session's counters and the engine totals, so the session
+        counters always sum exactly to the totals.
+        """
+        self.disk_reads += other.disk_reads
+        self.disk_writes += other.disk_writes
+        self.buffer_hits += other.buffer_hits
+        self.segment_comps += other.segment_comps
+        self.bbox_comps += other.bbox_comps
+
     def reset(self) -> None:
         self.disk_reads = 0
         self.disk_writes = 0

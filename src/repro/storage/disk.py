@@ -9,7 +9,7 @@ serialization for persistence.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 
 class PageNotAllocatedError(KeyError):
@@ -22,6 +22,11 @@ class DiskManager:
     Physical read/write counts are tracked here (they differ from the
     buffer pool's logical counts only if a pool is bypassed, which the
     tests exploit to verify the pool actually absorbs traffic).
+
+    Freed page ids go on a free list and are handed out again by
+    :meth:`allocate` before any new id is minted, so a long-running
+    insert/delete workload occupies a bounded id range (and therefore a
+    bounded file when the disk is dumped) instead of growing forever.
     """
 
     def __init__(self, page_size: int = 1024) -> None:
@@ -30,6 +35,7 @@ class DiskManager:
         self.page_size = page_size
         self._pages: Dict[int, Any] = {}
         self._next_id = 0
+        self._free_ids: List[int] = []
         self.physical_reads = 0
         self.physical_writes = 0
 
@@ -41,10 +47,22 @@ class DiskManager:
         """Total bytes occupied on 'disk' (pages are fixed-size units)."""
         return len(self._pages) * self.page_size
 
+    @property
+    def high_water_bytes(self) -> int:
+        """Bytes the underlying file would need: the highest id ever minted."""
+        return self._next_id * self.page_size
+
+    @property
+    def free_page_count(self) -> int:
+        return len(self._free_ids)
+
     def allocate(self, payload: Any = None) -> int:
-        """Allocate a fresh page, optionally with an initial payload."""
-        page_id = self._next_id
-        self._next_id += 1
+        """Allocate a page, reusing a freed id before minting a new one."""
+        if self._free_ids:
+            page_id = self._free_ids.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
         self._pages[page_id] = payload
         return page_id
 
@@ -66,8 +84,12 @@ class DiskManager:
         self.physical_writes += 1
 
     def free(self, page_id: int) -> None:
-        """Release a page (after a node merge, for instance)."""
+        """Release a page (after a node merge, for instance).
+
+        The id is recycled: a later :meth:`allocate` will reuse it.
+        """
         try:
             del self._pages[page_id]
         except KeyError:
             raise PageNotAllocatedError(page_id) from None
+        self._free_ids.append(page_id)

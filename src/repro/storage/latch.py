@@ -1,0 +1,72 @@
+"""A counted latch for shared storage structures.
+
+The simulated storage stack is single-threaded by construction; the
+service layer (:mod:`repro.service`) shares one buffer pool between many
+worker threads and therefore needs mutual exclusion around every
+traversal. A :class:`Latch` is a reentrant lock that additionally counts
+acquisitions and contended acquisitions, so a server can report how hot
+the pool latch is under load.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Latch:
+    """A reentrant lock with acquisition statistics.
+
+    ``acquisitions`` counts every outermost acquire; ``contended`` counts
+    the subset that had to wait because another thread held the latch.
+    Both are maintained under the latch itself, so they are exact.
+    """
+
+    def __init__(self, name: str = "latch") -> None:
+        self.name = name
+        self._lock = threading.RLock()
+        self._holder: int | None = None
+        self._depth = 0
+        self.acquisitions = 0
+        self.contended = 0
+
+    def acquire(self) -> None:
+        me = threading.get_ident()
+        if self._holder == me:  # reentrant: no stats, no blocking
+            self._depth += 1
+            return
+        contended = not self._lock.acquire(blocking=False)
+        if contended:
+            self._lock.acquire()
+        self._holder = me
+        self._depth = 1
+        self.acquisitions += 1
+        if contended:
+            self.contended += 1
+
+    def release(self) -> None:
+        if self._holder != threading.get_ident():
+            raise RuntimeError(f"latch {self.name!r} released by non-holder")
+        self._depth -= 1
+        if self._depth == 0:
+            self._holder = None
+            self._lock.release()
+
+    def __enter__(self) -> "Latch":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "acquisitions": self.acquisitions,
+            "contended": self.contended,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Latch {self.name!r} acquisitions={self.acquisitions} "
+            f"contended={self.contended}>"
+        )

@@ -32,6 +32,28 @@ class SegmentTable:
     def __len__(self) -> int:
         return self._count
 
+    @classmethod
+    def attach(
+        cls, pool: BufferPool, page_ids: List[int], count: int
+    ) -> "SegmentTable":
+        """Re-bind a table to pages already on disk (snapshot restore).
+
+        ``page_ids`` must list the table's pages in id order and ``count``
+        the stored segments; both come from a snapshot manifest.
+        """
+        table = cls(pool)
+        if count > len(page_ids) * table.per_page:
+            raise ValueError(
+                f"{count} segments cannot fit in {len(page_ids)} pages "
+                f"of {table.per_page} records"
+            )
+        for page_id in page_ids:
+            if not pool.disk.is_allocated(page_id):
+                raise ValueError(f"segment table page {page_id} is not on disk")
+        table._page_ids = list(page_ids)
+        table._count = count
+        return table
+
     @property
     def page_count(self) -> int:
         return len(self._page_ids)

@@ -30,6 +30,7 @@ def test_example_inventory():
     assert set(EXAMPLES) == {
         "quickstart.py",
         "index_shootout.py",
+        "map_server.py",
         "road_maintenance.py",
         "map_viewer.py",
         "map_overlay.py",

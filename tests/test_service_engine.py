@@ -1,0 +1,184 @@
+"""The concurrent query engine: latching, attribution, caching."""
+
+import random
+import threading
+
+import pytest
+
+from repro.geometry import Segment
+from repro.service import QueryEngine, ResultCache
+from repro.storage import Latch
+from repro.storage.counters import MetricsCounters
+
+from tests.conftest import build_index, lattice_map
+
+
+@pytest.fixture()
+def engine():
+    return QueryEngine(build_index("R*", lattice_map(n=8)), cache_capacity=64)
+
+
+class TestAttribution:
+    def test_sessions_sum_to_totals(self, engine):
+        a = engine.session("alice")
+        b = engine.session("bob")
+        engine.point(100, 100, session=a)
+        engine.window(0, 0, 500, 500, session=b)
+        engine.nearest(321, 321, session=a)
+        assert engine.counters_consistent()
+        assert a.counters.disk_accesses > 0 or a.counters.buffer_hits > 0
+        total = MetricsCounters()
+        total.merge(a.counters)
+        total.merge(b.counters)
+        assert total == engine.totals
+
+    def test_concurrent_sessions_stay_consistent(self, engine):
+        def worker(name):
+            session = engine.session(name)
+            rng = random.Random(sum(map(ord, name)))
+            for _ in range(50):
+                roll = rng.random()
+                if roll < 0.4:
+                    engine.point(rng.randrange(900), rng.randrange(900), session=session)
+                elif roll < 0.8:
+                    x, y = rng.randrange(800), rng.randrange(800)
+                    engine.window(x, y, x + 150, y + 150, session=session)
+                else:
+                    engine.nearest(rng.randrange(900), rng.randrange(900), session=session)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert engine.counters_consistent()
+        assert len(engine.sessions()) == 4
+        assert engine.totals.disk_accesses + engine.totals.buffer_hits > 0
+
+    def test_shared_counters_untouched_by_queries(self, engine):
+        base = engine.ctx.counters.snapshot()
+        engine.window(0, 0, 800, 800)
+        assert engine.ctx.counters.snapshot() == base
+
+    def test_query_answers_match_direct_calls(self, engine):
+        from repro.core.queries import window_query
+        from repro.geometry import Rect
+
+        direct = sorted(window_query(engine.index, Rect(0, 0, 450, 450)))
+        served = sorted(engine.window(0, 0, 450, 450))
+        assert served == direct
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self, engine):
+        session = engine.session("s")
+        first = engine.window(0, 0, 300, 300, session=session)
+        before = session.counters.snapshot()
+        second = engine.window(0, 0, 300, 300, session=session)
+        assert second == first
+        assert session.counters.since(before).disk_reads == 0
+        assert session.cache_hits == 1
+        assert engine.cache.stats()["hits"] == 1
+
+    def test_window_key_canonicalized(self, engine):
+        engine.window(300, 300, 0, 0)
+        engine.window(0, 0, 300, 300)
+        assert engine.cache.stats()["hits"] == 1
+
+    def test_insert_invalidates(self, engine):
+        engine.window(0, 0, 300, 300)
+        assert len(engine.cache) == 1
+        seg_id = engine.insert_segment(Segment(10.0, 10.0, 90.0, 95.0))
+        assert len(engine.cache) == 0
+        assert engine.cache.stats()["invalidations"] == 1
+        # the new segment is immediately visible (no stale cache entry)
+        assert seg_id in engine.window(0, 0, 300, 300)
+
+    def test_delete_invalidates_and_removes(self, engine):
+        seg_id = engine.insert_segment(Segment(10.0, 10.0, 90.0, 95.0))
+        assert seg_id in engine.window(0, 0, 300, 300)
+        engine.delete(seg_id)
+        assert len(engine.cache) == 0
+        assert seg_id not in engine.window(0, 0, 300, 300)
+        assert engine.counters_consistent()
+
+    def test_use_cache_false_bypasses(self, engine):
+        engine.window(0, 0, 300, 300, use_cache=False)
+        assert len(engine.cache) == 0
+
+
+class TestResultCacheUnit:
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.lookup("a") == (True, 1)  # refresh a
+        cache.store("c", 3)  # evicts b
+        assert cache.lookup("b") == (False, None)
+        assert cache.lookup("a") == (True, 1)
+        assert cache.lookup("c") == (True, 3)
+        assert cache.evictions == 1
+
+    def test_zero_capacity_never_stores(self):
+        cache = ResultCache(capacity=0)
+        cache.store("a", 1)
+        assert cache.lookup("a") == (False, None)
+
+    def test_hit_rate(self):
+        cache = ResultCache()
+        cache.store("k", "v")
+        cache.lookup("k")
+        cache.lookup("nope")
+        assert cache.hit_rate == 0.5
+
+
+class TestLatch:
+    def test_counts_contention(self):
+        latch = Latch("t")
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with latch:
+                held.set()
+                release.wait(timeout=30)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        held.wait(timeout=30)
+        waiter_done = threading.Event()
+
+        def waiter():
+            with latch:
+                waiter_done.set()
+
+        w = threading.Thread(target=waiter)
+        w.start()
+        release.set()
+        t.join()
+        w.join()
+        assert waiter_done.is_set()
+        assert latch.acquisitions == 2
+        assert latch.contended >= 1
+
+    def test_reentrant(self):
+        latch = Latch("t")
+        with latch:
+            with latch:
+                pass
+        assert latch.acquisitions == 1
+
+    def test_release_by_non_holder_rejected(self):
+        latch = Latch("t")
+        with pytest.raises(RuntimeError):
+            latch.release()
+
+    def test_stats_endpoint(self, engine):
+        engine.point(100, 100)
+        stats = engine.stats()
+        assert stats["counters_consistent"] is True
+        assert stats["index"]["kind"] == "R*"
+        assert stats["latch"]["acquisitions"] >= 1
+        assert stats["pool"]["capacity"] == 16

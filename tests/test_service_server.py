@@ -1,0 +1,146 @@
+"""The JSON-over-TCP map server and the bench-serve load generator."""
+
+import json
+import socket
+
+import pytest
+
+from repro.service import MapServer, QueryEngine, bench_serve, send_request
+from repro.service.loadgen import percentile
+
+from tests.conftest import build_index, lattice_map
+
+
+@pytest.fixture()
+def server():
+    engine = QueryEngine(build_index("R*", lattice_map(n=8)))
+    srv = MapServer(engine)  # port 0: ephemeral
+    srv.start_background()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+class TestProtocol:
+    def test_ping(self, server):
+        assert send_request(server.address, {"op": "ping"}) == {
+            "ok": True,
+            "result": "pong",
+        }
+
+    def test_point_and_window(self, server):
+        r = send_request(server.address, {"op": "point", "x": 100, "y": 100})
+        assert r["ok"] and isinstance(r["result"], list)
+        r = send_request(
+            server.address,
+            {"op": "window", "x1": 0, "y1": 0, "x2": 400, "y2": 400},
+        )
+        assert r["ok"] and len(r["result"]) > 0
+
+    def test_nearest(self, server):
+        r = send_request(server.address, {"op": "nearest", "x": 300, "y": 300, "k": 2})
+        assert r["ok"]
+        assert len(r["result"]) == 2
+        assert r["result"][0][1] <= r["result"][1][1]
+
+    def test_batch(self, server):
+        r = send_request(
+            server.address,
+            {
+                "op": "batch",
+                "order": "morton",
+                "requests": [
+                    {"op": "point", "x": 100, "y": 100},
+                    {"op": "window", "x1": 0, "y1": 0, "x2": 200, "y2": 200},
+                ],
+            },
+        )
+        assert r["ok"]
+        assert len(r["result"]["results"]) == 2
+        assert r["result"]["order"] == "morton"
+
+    def test_insert_then_query_sees_it(self, server):
+        r = send_request(
+            server.address,
+            {"op": "insert", "x1": 5, "y1": 5, "x2": 30, "y2": 35},
+        )
+        assert r["ok"]
+        seg_id = r["result"]
+        r = send_request(server.address, {"op": "point", "x": 5, "y": 5})
+        assert seg_id in r["result"]
+        r = send_request(server.address, {"op": "delete", "seg_id": seg_id})
+        assert r["ok"]
+        r = send_request(server.address, {"op": "point", "x": 5, "y": 5})
+        assert seg_id not in r["result"]
+
+    def test_stats(self, server):
+        send_request(server.address, {"op": "point", "x": 100, "y": 100})
+        r = send_request(server.address, {"op": "stats"})
+        assert r["ok"]
+        stats = r["result"]
+        assert stats["counters_consistent"] is True
+        assert stats["index"]["kind"] == "R*"
+        assert any(s["name"].startswith("conn-") for s in stats["sessions"])
+
+    def test_unknown_op_is_error_not_disconnect(self, server):
+        with socket.create_connection(server.address, timeout=10) as sock:
+            with sock.makefile("rwb") as fh:
+                fh.write(b'{"op": "bogus"}\n')
+                fh.flush()
+                assert json.loads(fh.readline())["ok"] is False
+                fh.write(b'{"op": "ping"}\n')  # connection survived
+                fh.flush()
+                assert json.loads(fh.readline())["result"] == "pong"
+
+    def test_malformed_json_is_error(self, server):
+        with socket.create_connection(server.address, timeout=10) as sock:
+            with sock.makefile("rwb") as fh:
+                fh.write(b"this is not json\n")
+                fh.flush()
+                response = json.loads(fh.readline())
+        assert response["ok"] is False
+        assert "error" in response
+
+    def test_one_session_per_connection(self, server):
+        for _ in range(2):
+            send_request(server.address, {"op": "point", "x": 60, "y": 60})
+        stats = send_request(server.address, {"op": "stats"})["result"]
+        conn_sessions = [
+            s for s in stats["sessions"] if s["name"].startswith("conn-")
+        ]
+        assert len(conn_sessions) >= 3  # two queries + this stats call
+
+
+class TestBenchServe:
+    def test_four_thread_run(self):
+        report = bench_serve(
+            county="cecil", scale=0.01, threads=4, requests=60, seed=1
+        )
+        assert report.errors == 0
+        assert report.requests == 60
+        assert report.counters_consistent is True
+        assert report.throughput_qps > 0
+        assert report.latency_ms["p50"] <= report.latency_ms["p99"]
+        # acceptance: batching by Morton key costs fewer disk accesses
+        assert (
+            report.batch_comparison["morton"] <= report.batch_comparison["arrival"]
+        )
+
+    def test_report_formats(self):
+        from repro.service import format_bench_report
+
+        report = bench_serve(county="cecil", scale=0.01, threads=2, requests=20)
+        text = format_bench_report(report)
+        assert "throughput" not in text  # human units, not field names
+        assert "q/s" in text and "p99" in text and "morton" in text
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 0.01) == 1.0

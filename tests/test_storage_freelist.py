@@ -1,0 +1,116 @@
+"""Page-id recycling and snapshot-staleness guards in the storage layer."""
+
+import io
+
+import pytest
+
+from repro.geometry import Segment
+from repro.storage import DiskManager, PageNotAllocatedError, StorageContext
+from repro.storage.codec import CodecError, dump_database, load_database
+
+from tests.conftest import build_index, lattice_map
+
+
+class TestFreeList:
+    def test_freed_id_is_reused(self):
+        disk = DiskManager()
+        a = disk.allocate("a")
+        b = disk.allocate("b")
+        disk.free(a)
+        assert disk.free_page_count == 1
+        assert disk.allocate("c") == a
+        assert disk.free_page_count == 0
+        assert disk.allocate("d") == b + 1  # free list empty: mint fresh
+
+    def test_double_free_rejected(self):
+        disk = DiskManager()
+        page = disk.allocate()
+        disk.free(page)
+        with pytest.raises(PageNotAllocatedError):
+            disk.free(page)
+
+    def test_allocated_bytes_shrinks_on_free(self):
+        disk = DiskManager(page_size=512)
+        pages = [disk.allocate() for _ in range(4)]
+        assert disk.allocated_bytes == 4 * 512
+        disk.free(pages[0])
+        assert disk.allocated_bytes == 3 * 512
+        assert disk.high_water_bytes == 4 * 512
+
+    def test_maintenance_workload_bounded(self):
+        """Delete/insert churn must not grow the id space unboundedly.
+
+        Without recycling, every split during re-insertion minted fresh
+        ids and ``high_water_bytes`` grew monotonically with churn.
+        """
+        index = build_index("R*", lattice_map(n=10, pitch=90))
+        disk = index.ctx.disk
+        seg_count = len(index.ctx.segments)
+        churn = list(range(0, seg_count, 3))
+        for seg_id in churn:
+            index.delete(seg_id)
+        for seg_id in churn:
+            index.insert(seg_id)
+        high_water = disk._next_id
+        for _ in range(3):  # repeat the same churn: ids must recycle
+            for seg_id in churn:
+                index.delete(seg_id)
+            for seg_id in churn:
+                index.insert(seg_id)
+            index.check_invariants()
+        assert disk._next_id <= high_water + 1
+        assert disk.allocated_bytes <= high_water * disk.page_size
+
+
+class TestDumpGuards:
+    def test_dirty_pool_rejected(self):
+        index = build_index("R*", lattice_map(n=4))
+        assert index.ctx.pool.has_dirty()
+        with pytest.raises(CodecError, match="dirty"):
+            dump_database(index.ctx.disk, io.BytesIO(), pool=index.ctx.pool)
+
+    def test_flushed_pool_accepted(self):
+        index = build_index("R*", lattice_map(n=4))
+        index.ctx.pool.flush()
+        buf = io.BytesIO()
+        pages = dump_database(index.ctx.disk, buf, pool=index.ctx.pool)
+        assert pages == len(index.ctx.disk)
+
+    def test_no_pool_keeps_old_behaviour(self):
+        index = build_index("R*", lattice_map(n=4))
+        index.ctx.pool.flush()
+        assert dump_database(index.ctx.disk, io.BytesIO()) > 0
+
+
+class TestDumpFidelity:
+    def _roundtrip(self, disk):
+        buf = io.BytesIO()
+        dump_database(disk, buf)
+        buf.seek(0)
+        return load_database(buf)
+
+    def test_free_list_survives_roundtrip(self):
+        ctx = StorageContext.create()
+        for seg in lattice_map(n=3):
+            ctx.segments.append(seg)
+        extra = ctx.pool.create([Segment(1.0, 1.0, 2.0, 2.0)])
+        ctx.pool.flush()
+        ctx.pool.drop(extra)
+        ctx.disk.free(extra)
+        loaded = self._roundtrip(ctx.disk)
+        assert loaded._free_ids == ctx.disk._free_ids
+        assert loaded.allocate() == extra  # recycled id survives the dump
+
+    def test_physical_counters_survive_roundtrip(self):
+        ctx = StorageContext.create()
+        for seg in lattice_map(n=3):
+            ctx.segments.append(seg)
+        ctx.pool.flush()
+        ctx.pool.clear()
+        for seg_id in range(len(ctx.segments)):
+            ctx.segments.fetch(seg_id)
+        disk = ctx.disk
+        assert disk.physical_reads > 0 and disk.physical_writes > 0
+        loaded = self._roundtrip(disk)
+        assert loaded.physical_reads == disk.physical_reads
+        assert loaded.physical_writes == disk.physical_writes
