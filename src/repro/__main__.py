@@ -18,6 +18,16 @@ The service layer adds three more subcommands::
     python -m repro snapshot --out county.snap   # build + save an index
     python -m repro serve --snapshot county.snap # JSON-over-TCP server
     python -m repro bench-serve --threads 4      # concurrent load test
+
+The static-analysis layer adds two::
+
+    python -m repro check county.snap            # index fsck (snapshot)
+    python -m repro check --county cecil --structure PMR   # fsck a build
+    python -m repro lint src/                    # project AST lint
+
+Exit codes for both: 0 = clean, 1 = findings (``check``: at least one
+*error*-severity finding; warnings alone exit 0), 2 = the target could
+not be analysed at all (missing/corrupt snapshot, unknown path).
 """
 
 from __future__ import annotations
@@ -115,6 +125,59 @@ def _cmd_bench_serve(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.analysis import check_index, check_snapshot, format_findings, has_errors
+    from repro.analysis.findings import FSCK_RULES
+    from repro.storage import CodecError
+
+    if args.rules:
+        print(FSCK_RULES.describe())
+        return 0
+    if args.snapshot:
+        try:
+            findings = check_snapshot(args.snapshot)
+        except FileNotFoundError:
+            print(f"error: snapshot not found: {args.snapshot}", file=sys.stderr)
+            return 2
+        except CodecError as exc:
+            print(f"error: cannot read {args.snapshot}: {exc}", file=sys.stderr)
+            return 2
+        title = f"fsck {args.snapshot}"
+    else:
+        from repro.data import generate_county
+        from repro.harness.experiment import build_structure
+
+        built = build_structure(
+            args.structure, generate_county(args.county, scale=args.scale)
+        )
+        findings = check_index(built.index)
+        title = f"fsck {args.structure} over {args.county} (scale {args.scale})"
+    print(format_findings(findings, title=title))
+    return 1 if has_errors(findings) else 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import format_findings, lint_paths
+    from repro.analysis.findings import LINT_RULES
+    from repro.analysis.lint import iter_python_files
+
+    if args.rules:
+        print(LINT_RULES.describe())
+        return 0
+    import os
+
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    if not iter_python_files(args.paths):
+        print(f"error: no python files under {args.paths}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths)
+    print(format_findings(findings, title=f"lint {' '.join(args.paths)}"))
+    return 1 if findings else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -159,6 +222,21 @@ def main(argv=None) -> int:
     p.add_argument("--cache-size", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser("check", help="static index fsck (no queries executed)")
+    _add_common(p)
+    p.add_argument(
+        "snapshot",
+        nargs="?",
+        default=None,
+        help="snapshot file to check; omit to build --structure fresh",
+    )
+    p.add_argument("--structure", default="R*", choices=["R*", "R+", "PMR", "R"])
+    p.add_argument("--rules", action="store_true", help="list fsck rules and exit")
+
+    p = sub.add_parser("lint", help="project AST lint (RP rules)")
+    p.add_argument("paths", nargs="*", default=["src/"], help="files or directories")
+    p.add_argument("--rules", action="store_true", help="list lint rules and exit")
+
     args = parser.parse_args(argv)
 
     if args.command == "snapshot":
@@ -167,6 +245,10 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
 
     # Imports deferred so `--help` stays instant.
     from repro.data import generate_county

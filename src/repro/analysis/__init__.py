@@ -1,0 +1,47 @@
+"""Static analysis for the reproduction: index fsck + project lint.
+
+Two pillars, both producing structured
+:class:`~repro.analysis.findings.Finding` records:
+
+* :mod:`repro.analysis.fsck` -- ``check_index`` / ``check_snapshot``
+  statically verify the paper's per-structure invariants (R* MBR
+  containment and fill bounds, R+ disjoint decomposition and leaf
+  completeness, PMR split-once rule over Morton-ordered B-tree tuples)
+  plus the storage bookkeeping (inventories, free list, segment table)
+  without executing queries or moving a counter.
+* :mod:`repro.analysis.lint` -- an AST pass enforcing the measurement
+  and concurrency discipline of this codebase (RP01..RP05; see the
+  module docstring for the rules and the suppression syntax).
+
+CLI: ``python -m repro check`` and ``python -m repro lint``; service
+hook: ``{"op": "check"}`` against a running map server.
+"""
+
+from repro.analysis.findings import (
+    ERROR,
+    FSCK_RULES,
+    LINT_RULES,
+    WARNING,
+    Finding,
+    format_findings,
+    has_errors,
+    sort_findings,
+)
+from repro.analysis.fsck import check_index, check_snapshot
+from repro.analysis.lint import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "ERROR",
+    "FSCK_RULES",
+    "Finding",
+    "LINT_RULES",
+    "WARNING",
+    "check_index",
+    "check_snapshot",
+    "format_findings",
+    "has_errors",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "sort_findings",
+]

@@ -1,0 +1,114 @@
+"""Structured findings shared by the index fsck and the AST linter.
+
+Both analyses report problems the same way: a flat list of
+:class:`Finding` records, each naming the violated rule, a severity, the
+page (or source line) it anchors to, and a human-readable detail string.
+Keeping the record structured lets the service layer return findings over
+the wire (``{"op": "check"}``), the CLI render them as text, and the
+corruption-injection tests assert on exact rule ids and page ids instead
+of grepping message strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: A definite invariant violation: the structure (or source) is wrong.
+ERROR = "error"
+#: Suspicious but tolerated state (e.g. the R+-tree's documented
+#: pathological overfull leaf); reported, but does not fail a check.
+WARNING = "warning"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation found by a static analysis pass.
+
+    ``page_id`` is the disk page the violation anchors to (or ``None``
+    for whole-structure findings; the linter reuses it as the source
+    line number). ``path`` locates the finding: a root-to-node page-id
+    path for the fsck, a file path for the linter.
+    """
+
+    rule: str
+    severity: str
+    page_id: Optional[int]
+    path: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "page_id": self.page_id,
+            "path": self.path,
+            "detail": self.detail,
+        }
+
+
+def error(rule: str, page_id: Optional[int], path: str, detail: str) -> Finding:
+    return Finding(rule, ERROR, page_id, path, detail)
+
+
+def warning(rule: str, page_id: Optional[int], path: str, detail: str) -> Finding:
+    return Finding(rule, WARNING, page_id, path, detail)
+
+
+def has_errors(findings: Iterable[Finding]) -> bool:
+    return any(f.severity == ERROR for f in findings)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Errors first, then by rule id, then by page id (stable display)."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            _SEVERITY_ORDER.get(f.severity, 99),
+            f.rule,
+            f.page_id if f.page_id is not None else -1,
+        ),
+    )
+
+
+def format_findings(findings: Iterable[Finding], title: str = "") -> str:
+    """Render findings as the ``python -m repro check``/``lint`` report."""
+    ordered = sort_findings(findings)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for f in ordered:
+        where = f.path
+        if f.page_id is not None:
+            where = f"{where}:{f.page_id}" if where else str(f.page_id)
+        lines.append(f"{f.severity.upper():7s} {f.rule} [{where}] {f.detail}")
+    errors = sum(1 for f in ordered if f.severity == ERROR)
+    warnings = len(ordered) - errors
+    lines.append(
+        f"{len(ordered)} finding(s): {errors} error(s), {warnings} warning(s)"
+        if ordered
+        else "clean: 0 findings"
+    )
+    return "\n".join(lines)
+
+
+@dataclass
+class RuleSet:
+    """Registry mapping rule ids to one-line descriptions (for ``--rules``)."""
+
+    rules: Dict[str, str] = field(default_factory=dict)
+
+    def register(self, rule: str, description: str) -> str:
+        self.rules[rule] = description
+        return rule
+
+    def describe(self) -> str:
+        return "\n".join(f"{rid}  {desc}" for rid, desc in sorted(self.rules.items()))
+
+
+#: All fsck rules, registered by the checker modules at import time.
+FSCK_RULES = RuleSet()
+#: All lint rules, registered by :mod:`repro.analysis.lint`.
+LINT_RULES = RuleSet()

@@ -1,0 +1,112 @@
+"""The index fsck: static integrity checking for built structures.
+
+Entry points:
+
+* :func:`check_index` -- walk a live (in-memory) index and verify the
+  paper's invariants for its structure, plus the storage bookkeeping
+  underneath it. Pages are read via the uncounted
+  :meth:`~repro.storage.disk.DiskManager.peek`, so a check executes no
+  queries and moves no counter.
+* :func:`check_snapshot` -- verify an on-disk snapshot file: codec
+  header vs. manifest cross-checks first, then the full index walk over
+  the reloaded disk.
+
+Both return a flat list of :class:`~repro.analysis.findings.Finding`
+records; an empty list means the structure is healthy. The CLI wrapper
+(``python -m repro check``) renders them and exits nonzero when any
+finding is an error.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, List, Union
+
+from repro.analysis.findings import FSCK_RULES, Finding
+from repro.analysis.fsck_pmr import check_pmr
+from repro.analysis.fsck_rplus import check_rplus
+from repro.analysis.fsck_rtree import check_rtree
+from repro.analysis.fsck_storage import (
+    check_segment_refs,
+    check_snapshot_header,
+    check_storage,
+)
+from repro.core.pmr import PMRQuadtree
+from repro.core.rplus import RPlusTree
+from repro.core.rtree import GuttmanRTree
+from repro.storage.codec import CodecError, read_header
+
+__all__ = ["check_index", "check_snapshot", "FSCK_RULES"]
+
+
+def _leaf_refs(index) -> List[int]:
+    """Leaf segment references of an R-tree-family index (peek-only)."""
+    disk = index.ctx.disk
+    refs: List[int] = []
+    seen = set()
+    stack = [index._root_id]
+    while stack:
+        page_id = stack.pop()
+        if page_id in seen or not disk.is_allocated(page_id):
+            continue  # structural damage: reported by the structure walk
+        seen.add(page_id)
+        node = disk.peek(page_id)
+        if not hasattr(node, "entries"):
+            continue
+        if node.is_leaf:
+            refs.extend(ref for _, ref in node.entries)
+        else:
+            stack.extend(ref for _, ref in node.entries)
+    return refs
+
+
+def check_index(index) -> List[Finding]:
+    """Run every applicable fsck rule against a live index."""
+    if isinstance(index, PMRQuadtree):
+        # PM1/PM2/PM3 refine the splitting rule, which voids the PMR's
+        # split-once occupancy bound (PM03) but none of the B-tree, code,
+        # or storage rules; check_pmr skips PM03 for the subclasses.
+        findings = check_pmr(index)
+    elif isinstance(index, RPlusTree):
+        findings = check_rplus(index)
+        findings += check_segment_refs(index, _leaf_refs(index))
+    elif isinstance(index, GuttmanRTree):
+        findings = check_rtree(index)
+        findings += check_segment_refs(index, _leaf_refs(index))
+    else:
+        raise ValueError(
+            f"no fsck support for {type(index).__name__}; supported: "
+            f"R, R*, R+ (and the true R+ variant), PMR (and PM1/PM2/PM3)"
+        )
+    findings += check_storage(index)
+    return findings
+
+
+def check_snapshot(src: Union[str, os.PathLike, BinaryIO]) -> List[Finding]:
+    """Verify a snapshot file written by :func:`repro.service.save_index`.
+
+    Header-level cross-checks run first (manifest inventories vs. the
+    page table, free list vs. dumped pages); if the snapshot can be
+    opened at all, the reloaded index then gets the full
+    :func:`check_index` treatment. A snapshot too damaged to open yields
+    the header findings plus an ``FS01`` error carrying the codec error.
+    """
+    from repro.analysis.fsck_storage import FS01
+    from repro.analysis.findings import error
+    from repro.service.snapshot import open_index
+
+    if hasattr(src, "read"):
+        header = read_header(src)
+        src.seek(0)
+    else:
+        with open(src, "rb") as fh:
+            header = read_header(fh)
+    findings = check_snapshot_header(header)
+    try:
+        index = open_index(src)
+    except CodecError as exc:
+        findings.append(
+            error(FS01, None, str(src), f"snapshot cannot be opened: {exc}")
+        )
+        return findings
+    return findings + check_index(index)

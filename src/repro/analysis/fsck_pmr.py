@@ -1,0 +1,350 @@
+"""Static integrity checks for the PMR quadtree's linear representation.
+
+The paper stores the PMR quadtree as Morton-ordered ``(L, O)`` 2-tuples
+in a paged B-tree (Section 4). The checker verifies the three layers of
+that representation against each other without executing a single query:
+
+* the **B-tree** itself -- sorted keys, tight separators, uniform leaf
+  depth, a leaf chain matching tree order, page accounting;
+* the **locational codes** -- every stored key is exactly the code of one
+  *leaf* block of the directory, computed from that block's geometry;
+* the **splitting rule** -- a block is split at most once past the
+  threshold, so a leaf above ``max_depth`` never holds more than
+  ``threshold + depth`` q-edges (Section 3's occupancy bound).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.analysis.findings import FSCK_RULES, Finding, error
+
+PM01 = FSCK_RULES.register("PM01", "B-tree keys out of Morton order")
+PM02 = FSCK_RULES.register("PM02", "locational code inconsistent with block geometry")
+PM03 = FSCK_RULES.register("PM03", "block split more than once past the threshold")
+PM04 = FSCK_RULES.register("PM04", "directory count disagrees with B-tree contents")
+PM05 = FSCK_RULES.register("PM05", "B-tree structural damage")
+PM06 = FSCK_RULES.register("PM06", "q-edge pointer outside the segment table")
+PM07 = FSCK_RULES.register("PM07", "q-edge stored in a block its segment misses")
+
+
+def check_pmr(index) -> List[Finding]:
+    """Verify a PMR quadtree snapshot/in-memory instance; returns findings.
+
+    The PM1/PM2/PM3 subclasses replace the probabilistic splitting rule
+    with geometric criteria, so Section 3's ``threshold + depth`` bound
+    (PM03) only applies to the plain PMR quadtree; every other rule
+    checks representation consistency and applies to the whole family.
+    """
+    from repro.core.pmr import PMRQuadtree
+
+    findings: List[Finding] = []
+    entries = _check_btree(index.btree, findings)
+    blocks = _check_directory(
+        index, findings, enforce_split_once=type(index) is PMRQuadtree
+    )
+    _check_codes(index, entries, blocks, findings)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Layer 1: the paged B-tree
+# ----------------------------------------------------------------------
+def _check_btree(btree, findings: List[Finding]) -> List[Tuple[Any, Any]]:
+    """Structural walk via ``disk.peek``; returns entries in chain order."""
+    disk = btree.pool.disk
+    seen: Set[int] = set()
+    leaves_in_tree_order: List[int] = []
+
+    def walk(page_id: int, depth: int, lo, hi) -> int:
+        if page_id in seen:
+            findings.append(
+                error(PM05, page_id, str(page_id), "page reachable via two parents")
+            )
+            return 0
+        seen.add(page_id)
+        if not disk.is_allocated(page_id):
+            findings.append(
+                error(PM05, page_id, str(page_id), "referenced page not allocated")
+            )
+            return 0
+        node = disk.peek(page_id)
+        if node.is_leaf:
+            if depth != btree._height:
+                findings.append(
+                    error(
+                        PM05,
+                        page_id,
+                        str(page_id),
+                        f"leaf at depth {depth}, height {btree._height}",
+                    )
+                )
+            if node.entries != sorted(node.entries):
+                findings.append(
+                    error(PM01, page_id, str(page_id), "leaf entries out of order")
+                )
+            for e in node.entries:
+                if lo is not None and e < lo:
+                    findings.append(
+                        error(
+                            PM01,
+                            page_id,
+                            str(page_id),
+                            f"entry {e!r} below its lower separator {lo!r}",
+                        )
+                    )
+                if hi is not None and e >= hi:
+                    findings.append(
+                        error(
+                            PM01,
+                            page_id,
+                            str(page_id),
+                            f"entry {e!r} at or above its upper separator {hi!r}",
+                        )
+                    )
+            leaves_in_tree_order.append(page_id)
+            return len(node.entries)
+        if len(node.children) != len(node.keys) + 1:
+            findings.append(
+                error(
+                    PM05,
+                    page_id,
+                    str(page_id),
+                    f"{len(node.keys)} keys but {len(node.children)} children",
+                )
+            )
+            return 0
+        if node.keys != sorted(node.keys):
+            findings.append(
+                error(PM05, page_id, str(page_id), "separators out of order")
+            )
+        total = 0
+        for i, child in enumerate(node.children):
+            child_lo = lo if i == 0 else node.keys[i - 1]
+            child_hi = hi if i == len(node.keys) else node.keys[i]
+            total += walk(child, depth + 1, child_lo, child_hi)
+        return total
+
+    if not disk.is_allocated(btree._root_id):
+        findings.append(
+            error(PM05, btree._root_id, "", "B-tree root page is not allocated")
+        )
+        return []
+    total = walk(btree._root_id, 1, None, None)
+
+    if seen != btree._page_ids:
+        extra = sorted(seen - btree._page_ids)
+        missing = sorted(btree._page_ids - seen)
+        findings.append(
+            error(
+                PM05,
+                None,
+                "",
+                f"page inventory mismatch: reachable-but-untracked {extra[:8]}, "
+                f"tracked-but-unreachable {missing[:8]}",
+            )
+        )
+    if total != btree._count:
+        findings.append(
+            error(
+                PM05,
+                None,
+                "",
+                f"{total} entries in leaves but bookkeeping says {btree._count}",
+            )
+        )
+
+    # Leaf chain: follow next_page from the leftmost leaf and collect the
+    # entries; the chain must visit exactly the tree's leaves in order.
+    entries: List[Tuple[Any, Any]] = []
+    chain: List[int] = []
+    page_id = btree._root_id
+    node = disk.peek(page_id)
+    hops = 0
+    while not node.is_leaf:
+        if not node.children or not disk.is_allocated(node.children[0]):
+            return entries
+        page_id = node.children[0]
+        node = disk.peek(page_id)
+    while True:
+        chain.append(page_id)
+        entries.extend(node.entries)
+        if node.next_page is None:
+            break
+        hops += 1
+        if hops > len(seen) + 1:
+            findings.append(error(PM05, page_id, str(page_id), "leaf chain cycles"))
+            break
+        page_id = node.next_page
+        if not disk.is_allocated(page_id):
+            findings.append(
+                error(PM05, page_id, str(page_id), "leaf chain points off-disk")
+            )
+            break
+        node = disk.peek(page_id)
+    if not findings and chain != leaves_in_tree_order:
+        findings.append(
+            error(PM05, None, "", "leaf chain does not match tree order")
+        )
+    for prev, cur in zip(entries, entries[1:]):
+        if cur <= prev:
+            findings.append(
+                error(
+                    PM01,
+                    None,
+                    "",
+                    f"adjacent entries {prev!r} >= {cur!r} break strict "
+                    f"Morton order",
+                )
+            )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Layer 2: the block directory
+# ----------------------------------------------------------------------
+def _check_directory(
+    index, findings: List[Finding], enforce_split_once: bool = True
+) -> Dict[int, Any]:
+    """Geometry walk of the in-memory directory; returns code -> leaf."""
+    blocks: Dict[int, Any] = {}
+
+    def walk(block) -> None:
+        if block.depth > index.max_depth:
+            findings.append(
+                error(
+                    PM02,
+                    None,
+                    f"({block.depth},{block.bx},{block.by})",
+                    f"block deeper than max_depth {index.max_depth}",
+                )
+            )
+            return
+        if not (0 <= block.bx < (1 << block.depth)) or not (
+            0 <= block.by < (1 << block.depth)
+        ):
+            findings.append(
+                error(
+                    PM02,
+                    None,
+                    f"({block.depth},{block.bx},{block.by})",
+                    "block grid position outside its depth's grid",
+                )
+            )
+            return
+        if block.is_leaf:
+            code = index._code(block)
+            if code in blocks:
+                findings.append(
+                    error(
+                        PM02,
+                        None,
+                        f"({block.depth},{block.bx},{block.by})",
+                        f"two leaf blocks share locational code {code}",
+                    )
+                )
+            blocks[code] = block
+            if (
+                enforce_split_once
+                and block.depth < index.max_depth
+                and block.count > index.threshold + block.depth
+            ):
+                findings.append(
+                    error(
+                        PM03,
+                        None,
+                        f"({block.depth},{block.bx},{block.by})",
+                        f"{block.count} q-edges > threshold {index.threshold} "
+                        f"+ depth {block.depth} (split-once bound)",
+                    )
+                )
+            return
+        if len(block.children) != 4:
+            findings.append(
+                error(
+                    PM02,
+                    None,
+                    f"({block.depth},{block.bx},{block.by})",
+                    f"split block has {len(block.children)} children",
+                )
+            )
+            return
+        expected = {
+            (block.depth + 1, 2 * block.bx + dx, 2 * block.by + dy)
+            for dx in (0, 1)
+            for dy in (0, 1)
+        }
+        actual = {(c.depth, c.bx, c.by) for c in block.children}
+        if actual != expected:
+            findings.append(
+                error(
+                    PM02,
+                    None,
+                    f"({block.depth},{block.bx},{block.by})",
+                    f"children at {sorted(actual)} instead of {sorted(expected)}",
+                )
+            )
+        for child in block.children:
+            walk(child)
+
+    walk(index.root)
+    return blocks
+
+
+# ----------------------------------------------------------------------
+# Layer 3: codes vs. geometry vs. contents
+# ----------------------------------------------------------------------
+def _check_codes(index, entries, blocks: Dict[int, Any], findings: List[Finding]) -> None:
+    table = index.ctx.segments
+    per_code: Dict[int, int] = {}
+    for key, value in entries:
+        if not isinstance(key, int):
+            findings.append(
+                error(PM02, None, "", f"non-integer locational code {key!r}")
+            )
+            continue
+        per_code[key] = per_code.get(key, 0) + 1
+        block = blocks.get(key)
+        if block is None:
+            findings.append(
+                error(
+                    PM02,
+                    None,
+                    "",
+                    f"B-tree key {key} matches no leaf block of the directory",
+                )
+            )
+            continue
+        seg_id = value[0] if isinstance(value, tuple) else value
+        if not isinstance(seg_id, int) or not 0 <= seg_id < len(table):
+            findings.append(
+                error(
+                    PM06,
+                    None,
+                    f"({block.depth},{block.bx},{block.by})",
+                    f"q-edge pointer {seg_id!r} outside the segment table "
+                    f"(0..{len(table) - 1})",
+                )
+            )
+            continue
+        seg = table.peek(seg_id)
+        if not seg.intersects_rect(block.rect(index.world_size)):
+            findings.append(
+                error(
+                    PM07,
+                    None,
+                    f"({block.depth},{block.bx},{block.by})",
+                    f"segment {seg_id} does not intersect its block",
+                )
+            )
+    for code, block in blocks.items():
+        stored = per_code.get(code, 0)
+        if stored != block.count:
+            findings.append(
+                error(
+                    PM04,
+                    None,
+                    f"({block.depth},{block.bx},{block.by})",
+                    f"directory says {block.count} q-edges, B-tree holds {stored}",
+                )
+            )

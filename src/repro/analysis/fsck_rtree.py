@@ -1,0 +1,127 @@
+"""Static integrity checks for the R-tree family (R and R*).
+
+The paper's R*-tree invariants (Section 2 and the Beckmann et al.
+definition): every child's MBR is contained in -- and exactly equal to --
+the rectangle its parent entry advertises, node occupancy stays within
+``[m, M]`` (root exempt), and all leaves sit at the same depth. The walk
+reads pages through :meth:`~repro.storage.disk.DiskManager.peek`, so a
+check never executes queries, never faults the buffer pool, and never
+moves a counter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.analysis.findings import FSCK_RULES, Finding, error, warning
+from repro.geometry import Rect
+
+RS01 = FSCK_RULES.register("RS01", "child MBR not contained in its parent entry")
+RS02 = FSCK_RULES.register("RS02", "parent entry rectangle is not the tight MBR")
+RS03 = FSCK_RULES.register("RS03", "node occupancy outside [min_entries, capacity]")
+RS04 = FSCK_RULES.register("RS04", "leaf at non-uniform depth")
+RS05 = FSCK_RULES.register("RS05", "page inventory / entry count bookkeeping mismatch")
+RS06 = FSCK_RULES.register("RS06", "tree references a page missing from disk")
+
+
+def check_rtree(index) -> List[Finding]:
+    """Verify an R / R* tree; returns findings (empty when healthy)."""
+    disk = index.ctx.disk
+    findings: List[Finding] = []
+    seen: Set[int] = set()
+    leaf_refs: List[int] = []
+
+    def walk(page_id: int, depth: int, parent_rect: Optional[Rect], path: str) -> None:
+        here = f"{path}/{page_id}" if path else str(page_id)
+        if page_id in seen:
+            findings.append(
+                error(RS05, page_id, here, "page reachable via two parents")
+            )
+            return
+        seen.add(page_id)
+        if not disk.is_allocated(page_id):
+            findings.append(
+                error(RS06, page_id, here, "referenced page is not allocated")
+            )
+            return
+        node = disk.peek(page_id)
+        n = len(node.entries)
+        if n > index.capacity:
+            findings.append(
+                error(RS03, page_id, here, f"{n} entries > capacity {index.capacity}")
+            )
+        if page_id != index._root_id and n < index.min_entries:
+            findings.append(
+                error(
+                    RS03, page_id, here, f"{n} entries < min fill {index.min_entries}"
+                )
+            )
+        if page_id == index._root_id and not node.is_leaf and n < 2:
+            findings.append(error(RS03, page_id, here, "internal root with < 2 entries"))
+        if node.entries and parent_rect is not None:
+            mbr = node.mbr()
+            if not parent_rect.contains_rect(mbr):
+                findings.append(
+                    error(
+                        RS01,
+                        page_id,
+                        here,
+                        f"node MBR {tuple(mbr)} escapes parent entry "
+                        f"{tuple(parent_rect)}",
+                    )
+                )
+            elif parent_rect != mbr:
+                findings.append(
+                    error(
+                        RS02,
+                        page_id,
+                        here,
+                        f"parent entry {tuple(parent_rect)} is looser than the "
+                        f"node MBR {tuple(mbr)}",
+                    )
+                )
+        if node.is_leaf:
+            if depth != index._height:
+                findings.append(
+                    error(
+                        RS04,
+                        page_id,
+                        here,
+                        f"leaf at depth {depth}, tree height {index._height}",
+                    )
+                )
+            leaf_refs.extend(ref for _, ref in node.entries)
+        else:
+            for rect, child in node.entries:
+                walk(child, depth + 1, rect, here)
+
+    if not disk.is_allocated(index._root_id):
+        return [error(RS06, index._root_id, "", "root page is not allocated")]
+    walk(index._root_id, 1, None, "")
+
+    if seen != index._page_ids:
+        extra = sorted(seen - index._page_ids)
+        missing = sorted(index._page_ids - seen)
+        findings.append(
+            error(
+                RS05,
+                None,
+                "",
+                f"page inventory mismatch: reachable-but-untracked {extra[:8]}, "
+                f"tracked-but-unreachable {missing[:8]}",
+            )
+        )
+    if len(leaf_refs) != index._count:
+        findings.append(
+            error(
+                RS05,
+                None,
+                "",
+                f"{len(leaf_refs)} leaf entries but bookkeeping says {index._count}",
+            )
+        )
+    if len(leaf_refs) != len(set(leaf_refs)):
+        findings.append(
+            warning(RS05, None, "", "duplicate segment reference across leaves")
+        )
+    return findings

@@ -1,0 +1,191 @@
+"""Storage-level integrity checks: inventories, free list, segment table.
+
+SQLite's ``PRAGMA integrity_check`` equivalent for the simulated disk:
+every page the index claims must exist, every freed page must be truly
+unreferenced, every allocated page must belong to exactly one inventory,
+and the segment table must actually hold the segments the structures
+point at.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.analysis.findings import FSCK_RULES, Finding, error, warning
+
+FS01 = FSCK_RULES.register("FS01", "manifest inventory disagrees with disk pages")
+FS02 = FSCK_RULES.register("FS02", "free-list page id is still allocated")
+FS03 = FSCK_RULES.register("FS03", "free-list page id is referenced by an inventory")
+FS04 = FSCK_RULES.register("FS04", "dangling segment-table pointer")
+FS05 = FSCK_RULES.register("FS05", "segment table inconsistent with its pages")
+FS06 = FSCK_RULES.register("FS06", "allocated page belongs to no inventory (leak)")
+
+
+def _inventories(index) -> Dict[str, Set[int]]:
+    """Page inventories of the index and its segment table, by owner."""
+    owners: Dict[str, Set[int]] = {}
+    if hasattr(index, "btree"):  # PMR: the pages live in the B-tree
+        owners["btree"] = set(index.btree._page_ids)
+    elif hasattr(index, "_page_ids"):
+        owners[index.name] = set(index._page_ids)
+    owners["segments"] = set(index.ctx.segments._page_ids)
+    return owners
+
+
+def check_storage(index) -> List[Finding]:
+    """Verify the disk-level bookkeeping under a live index."""
+    disk = index.ctx.disk
+    findings: List[Finding] = []
+    allocated = set(disk.allocated_ids())
+    free = set(disk.free_ids())
+    owners = _inventories(index)
+
+    for pid in sorted(free & allocated):
+        findings.append(
+            error(FS02, pid, "free-list", "page is both freed and allocated")
+        )
+    for owner, pages in owners.items():
+        for pid in sorted(pages & free):
+            findings.append(
+                error(FS03, pid, owner, f"freed page is referenced by {owner}")
+            )
+        for pid in sorted(pages - allocated - free):
+            findings.append(
+                error(FS01, pid, owner, f"{owner} inventory page is not on disk")
+            )
+
+    referenced: Set[int] = set()
+    for pages in owners.values():
+        referenced |= pages
+    for pid in sorted(allocated - referenced):
+        findings.append(
+            warning(FS06, pid, "disk", "allocated page belongs to no inventory")
+        )
+
+    findings.extend(_check_segment_table(index.ctx))
+    return findings
+
+
+def _check_segment_table(ctx) -> List[Finding]:
+    table = ctx.segments
+    disk = ctx.disk
+    findings: List[Finding] = []
+    count = len(table)
+    per_page = table.per_page
+    pages = table._page_ids
+    if count > len(pages) * per_page:
+        findings.append(
+            error(
+                FS05,
+                None,
+                "segments",
+                f"{count} segments cannot fit in {len(pages)} pages of "
+                f"{per_page} records (table truncated)",
+            )
+        )
+    stored = 0
+    for i, pid in enumerate(pages):
+        if not disk.is_allocated(pid):
+            findings.append(
+                error(FS05, pid, "segments", "segment-table page is not on disk")
+            )
+            continue
+        payload = disk.peek(pid)
+        if not isinstance(payload, list):
+            findings.append(
+                error(
+                    FS05,
+                    pid,
+                    "segments",
+                    f"segment-table page holds {type(payload).__name__}, not a "
+                    f"record list",
+                )
+            )
+            continue
+        stored += len(payload)
+        expected = per_page if i < len(pages) - 1 else count - per_page * i
+        if len(payload) < expected:
+            findings.append(
+                error(
+                    FS05,
+                    pid,
+                    "segments",
+                    f"segment-table page holds {len(payload)} records, "
+                    f"bookkeeping expects {expected}",
+                )
+            )
+    if stored < count:
+        findings.append(
+            error(
+                FS05,
+                None,
+                "segments",
+                f"segment table stores {stored} records but claims {count}",
+            )
+        )
+    return findings
+
+
+def check_segment_refs(index, refs, rule: str = FS04) -> List[Finding]:
+    """Range-check segment ids referenced by an index's leaf entries."""
+    table = index.ctx.segments
+    findings: List[Finding] = []
+    for seg_id in sorted(set(refs)):
+        if not isinstance(seg_id, int) or not 0 <= seg_id < len(table):
+            findings.append(
+                error(
+                    rule,
+                    None,
+                    index.name,
+                    f"leaf entry references segment {seg_id!r}, table holds "
+                    f"0..{len(table) - 1}",
+                )
+            )
+    return findings
+
+
+def check_snapshot_header(header: Dict[str, Any]) -> List[Finding]:
+    """Cross-check a snapshot file's codec header against its manifest.
+
+    Runs on the raw JSON header (no page decoding): the manifest's page
+    inventories must be covered by the header's page table, and the
+    persisted free list must not claim any dumped page.
+    """
+    findings: List[Finding] = []
+    page_ids = {meta["id"] for meta in header.get("pages", [])}
+    free_ids = set(header.get("free_ids", []))
+    manifest: Optional[Dict[str, Any]] = header.get("manifest")
+
+    for pid in sorted(free_ids & page_ids):
+        findings.append(
+            error(FS02, pid, "header", "page is both dumped and on the free list")
+        )
+    if manifest is None:
+        return findings
+
+    claimed: Dict[str, List[int]] = {}
+    seg = manifest.get("segments", {})
+    claimed["segments"] = list(seg.get("page_ids", []))
+    state = manifest.get("state", {})
+    if "page_ids" in state:
+        claimed[manifest.get("kind", "index")] = list(state["page_ids"])
+    btree = manifest.get("btree", {})
+    if "page_ids" in btree:
+        claimed["btree"] = list(btree["page_ids"])
+    for owner, pids in claimed.items():
+        for pid in pids:
+            if pid not in page_ids:
+                findings.append(
+                    error(
+                        FS01,
+                        pid,
+                        owner,
+                        f"manifest {owner} inventory lists page {pid}, which "
+                        f"the snapshot does not contain",
+                    )
+                )
+            if pid in free_ids:
+                findings.append(
+                    error(FS03, pid, owner, f"manifest {owner} references a freed page")
+                )
+    return findings

@@ -181,7 +181,7 @@ class RPlusTree(SpatialIndex):
         """Pages including overflow pages of any pathologically-full leaf."""
         extra = 0
         for pid in self._page_ids:
-            node = self.ctx.disk._pages[pid]
+            node = self.ctx.disk.peek(pid)
             if len(node.entries) > self.capacity:
                 extra += ceil(len(node.entries) / self.capacity) - 1
         return len(self._page_ids) + extra
@@ -200,7 +200,7 @@ class RPlusTree(SpatialIndex):
         """Average entries per leaf page (bypasses the pool: instrumentation)."""
         leaves = entries = 0
         for pid in self._page_ids:
-            node = self.ctx.disk._pages[pid]
+            node = self.ctx.disk.peek(pid)
             if node.is_leaf:
                 leaves += 1
                 entries += len(node.entries)
@@ -386,12 +386,11 @@ class RPlusTree(SpatialIndex):
         self._entry_count += len(left_entries) + len(right_entries) - len(node.entries)
         node.entries = left_entries
         self.ctx.pool.mark_dirty(page_id)
-        right_id = self.ctx.pool.create(RPlusNode(is_leaf=True, entries=right_entries))
+        right_node = RPlusNode(is_leaf=True, entries=right_entries)
+        right_id = self.ctx.pool.create(right_node)
         self._page_ids.add(right_id)
         self._note_node_rewritten(page_id, left_region, node)
-        self._note_node_rewritten(
-            right_id, right_region, self.ctx.disk._pages[right_id]
-        )
+        self._note_node_rewritten(right_id, right_region, right_node)
         return [(left_region, page_id), (right_region, right_id)]
 
     # -- internal split (with downward cascade) ---------------------------
@@ -419,12 +418,11 @@ class RPlusTree(SpatialIndex):
 
         node.entries = left_entries
         self.ctx.pool.mark_dirty(page_id)
-        right_id = self.ctx.pool.create(RPlusNode(is_leaf=False, entries=right_entries))
+        right_node = RPlusNode(is_leaf=False, entries=right_entries)
+        right_id = self.ctx.pool.create(right_node)
         self._page_ids.add(right_id)
         self._note_node_rewritten(page_id, left_region, node)
-        self._note_node_rewritten(
-            right_id, right_region, self.ctx.disk._pages[right_id]
-        )
+        self._note_node_rewritten(right_id, right_region, right_node)
         return [(left_region, page_id), (right_region, right_id)]
 
     def _split_subtree(
@@ -461,10 +459,11 @@ class RPlusTree(SpatialIndex):
 
         node.entries = left_entries
         pool.mark_dirty(page_id)
-        right_id = pool.create(RPlusNode(node.is_leaf, right_entries))
+        right_node = RPlusNode(node.is_leaf, right_entries)
+        right_id = pool.create(right_node)
         self._page_ids.add(right_id)
         self._note_node_rewritten(page_id, left_region, node)
-        self._note_node_rewritten(right_id, right_region, self.ctx.disk._pages[right_id])
+        self._note_node_rewritten(right_id, right_region, right_node)
         return (left_region, page_id), (right_region, right_id)
 
     # ------------------------------------------------------------------

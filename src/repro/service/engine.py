@@ -232,6 +232,23 @@ class QueryEngine:
         with self.latch:
             self.ctx.pool.clear()
 
+    def check(self) -> dict:
+        """Run the static index fsck under the latch (``{"op": "check"}``).
+
+        The walk reads pages via the uncounted ``disk.peek`` bypass, so
+        a check never shows up in any session's counters, the engine
+        totals, or the pool statistics -- a live server can be fsck'd
+        mid-traffic without skewing its measurements.
+        """
+        from repro.analysis import check_index, has_errors  # avoid import cycle
+
+        with self.latch:
+            findings = check_index(self.index)
+        return {
+            "clean": not has_errors(findings),
+            "findings": [f.to_dict() for f in findings],
+        }
+
     def stats(self) -> dict:
         """A full observability snapshot for the server's stats op."""
         with self.latch:

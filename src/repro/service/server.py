@@ -16,6 +16,7 @@ Requests (``op`` selects the operation)::
     {"op": "insert", "x1": 0, "y1": 0, "x2": 10, "y2": 10}
     {"op": "delete", "seg_id": 17}
     {"op": "stats"}
+    {"op": "check"}
 
 Responses are ``{"ok": true, "result": ...}`` or
 ``{"ok": false, "error": "..."}``. Malformed lines produce an error
@@ -134,6 +135,8 @@ class MapServer(socketserver.ThreadingTCPServer):
             return True
         if op == "stats":
             return engine.stats()
+        if op == "check":
+            return engine.check()
         raise ValueError(f"unknown op {op!r}")
 
 

@@ -77,6 +77,29 @@ class DiskManager:
         self.physical_reads += 1
         return payload
 
+    def peek(self, page_id: int) -> Any:
+        """Read a page WITHOUT charging a physical read.
+
+        The sanctioned instrumentation bypass: statistics accessors, the
+        visualizer, and the :mod:`repro.analysis` fsck read pages through
+        here so that inspecting a structure never perturbs the paper's
+        measurements. Never call this from index or query code -- page
+        traffic on measured paths must go through the buffer pool (the
+        RP01 lint rule enforces this for ``read``/``write``/``_pages``).
+        """
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotAllocatedError(page_id) from None
+
+    def allocated_ids(self) -> List[int]:
+        """All currently-allocated page ids, ascending (fsck inventory)."""
+        return sorted(self._pages)
+
+    def free_ids(self) -> List[int]:
+        """The free list, ascending (fsck inventory)."""
+        return sorted(self._free_ids)
+
     def write(self, page_id: int, payload: Any) -> None:
         if page_id not in self._pages:
             raise PageNotAllocatedError(page_id)

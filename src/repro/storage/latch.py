@@ -36,9 +36,26 @@ class Latch:
             return
         contended = not self._lock.acquire(blocking=False)
         if contended:
+            # The contended slow path can raise (e.g. an interrupt lands
+            # between the non-blocking probe and the blocking acquire).
+            # Nothing was acquired in that case, so bookkeeping must stay
+            # untouched -- the latch remains fully usable afterwards.
             self._lock.acquire()
-        self._holder = me
-        self._depth = 1
+        try:
+            self._holder = me
+            self._depth = 1
+            self._record_acquire(contended)
+        except BaseException:
+            # Bookkeeping failed after the lock was obtained: back out
+            # completely rather than leave a held lock with no holder.
+            self._holder = None
+            self._depth = 0
+            self._lock.release()
+            raise
+
+    def _record_acquire(self, contended: bool) -> None:
+        """Update acquisition statistics (separate so tests can verify
+        that a failure here cannot leak the underlying lock)."""
         self.acquisitions += 1
         if contended:
             self.contended += 1

@@ -99,7 +99,7 @@ def render_rtree_leaves(tree, world_size: float, width: int = 64, height: int = 
     rects = []
     stack = [tree._root_id]
     while stack:
-        node = tree.ctx.disk._pages[stack.pop()]
+        node = tree.ctx.disk.peek(stack.pop())
         if node.is_leaf:
             if node.entries:
                 rects.append(Rect.union_of(r for r, _ in node.entries))

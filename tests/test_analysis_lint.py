@@ -1,0 +1,184 @@
+"""The project AST linter: every RP rule fires, suppression discipline holds.
+
+Each rule is exercised with a minimal source snippet under a path that
+puts it in the right scope (rules RP01–RP03 and RP05 are scoped to
+layers of the ``src/repro`` tree). The capstone test lints the real
+``src/`` tree and requires it clean — with zero suppression pragmas.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.lint import RP00, RP01, RP02, RP03, RP04, RP05, iter_python_files
+
+CORE = "src/repro/core/rtree/node.py"
+STORAGE = "src/repro/storage/buffer_pool.py"
+SERVICE = "src/repro/service/engine.py"
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# RP01: DiskManager bypasses
+# ----------------------------------------------------------------------
+def test_rp01_disk_read_outside_storage():
+    findings = lint_source("node = self.ctx.disk.read(pid)\n", CORE)
+    assert rules_of(findings) == {RP01}
+    assert findings[0].page_id == 1  # line number
+
+
+def test_rp01_disk_write_and_raw_pages():
+    src = "ctx.disk.write(pid, node)\npayload = tree.ctx.disk._pages[pid]\n"
+    findings = lint_source(src, SERVICE)
+    assert [f.rule for f in findings] == [RP01, RP01]
+    assert [f.page_id for f in findings] == [1, 2]
+
+
+def test_rp01_allowed_inside_storage_and_for_peek():
+    assert lint_source("payload = self.disk.read(pid)\n", STORAGE) == []
+    assert lint_source("node = self.ctx.disk.peek(pid)\n", CORE) == []
+    assert lint_source("node = self.ctx.pool.get(pid)\n", CORE) == []
+
+
+# ----------------------------------------------------------------------
+# RP02: bare latch acquire/release
+# ----------------------------------------------------------------------
+def test_rp02_bare_acquire_release():
+    src = "self.latch.acquire()\ndo_work()\nself.latch.release()\n"
+    findings = lint_source(src, SERVICE)
+    assert [f.rule for f in findings] == [RP02, RP02]
+
+
+def test_rp02_with_block_is_clean():
+    assert lint_source("with self.latch:\n    do_work()\n", SERVICE) == []
+
+
+def test_rp02_exempts_the_latch_module_itself():
+    src = "self._lock.acquire()\n"
+    assert lint_source(src, "src/repro/storage/latch.py") == []
+
+
+# ----------------------------------------------------------------------
+# RP03: counter field ownership
+# ----------------------------------------------------------------------
+def test_rp03_io_field_outside_storage():
+    findings = lint_source("ctx.counters.disk_reads += 1\n", CORE)
+    assert rules_of(findings) == {RP03}
+
+
+def test_rp03_comparison_fields_allowed_in_core_only():
+    src = "self.counters.segment_comps += 1\n"
+    assert lint_source(src, CORE) == []
+    assert rules_of(lint_source(src, SERVICE)) == {RP03}
+
+
+def test_rp03_io_fields_allowed_in_storage():
+    assert lint_source("self.counters.buffer_hits += 1\n", STORAGE) == []
+
+
+def test_rp03_merge_is_the_sanctioned_path():
+    assert lint_source("session.counters.merge(scratch)\n", SERVICE) == []
+
+
+# ----------------------------------------------------------------------
+# RP04: exception swallowing
+# ----------------------------------------------------------------------
+def test_rp04_bare_except():
+    src = "try:\n    f()\nexcept:\n    handle()\n"
+    assert rules_of(lint_source(src, SERVICE)) == {RP04}
+
+
+def test_rp04_broad_except_pass():
+    src = "try:\n    f()\nexcept Exception:\n    pass\n"
+    assert rules_of(lint_source(src, SERVICE)) == {RP04}
+
+
+def test_rp04_tolerates_narrow_or_handled():
+    assert lint_source("try:\n    f()\nexcept ValueError:\n    pass\n", CORE) == []
+    src = "try:\n    f()\nexcept Exception as exc:\n    log(exc)\n"
+    assert lint_source(src, SERVICE) == []
+
+
+# ----------------------------------------------------------------------
+# RP05: float literals in grid-coordinate positions (core only)
+# ----------------------------------------------------------------------
+def test_rp05_float_in_locational_code_call():
+    findings = lint_source("code = locational_code(1.0, by, depth, 10)\n", CORE)
+    assert rules_of(findings) == {RP05}
+
+
+def test_rp05_float_bitwise_operand():
+    assert rules_of(lint_source("mask = x << 2.0\n", CORE)) == {RP05}
+
+
+def test_rp05_scoped_to_core():
+    src = "code = locational_code(1.0, 2, 3, 10)\n"
+    assert lint_source(src, "src/repro/harness/experiment.py") == []
+    assert lint_source("code = locational_code(bx, by, d, 10)\n", CORE) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression pragmas
+# ----------------------------------------------------------------------
+def test_justified_disable_suppresses_exactly_that_rule():
+    src = (
+        "node = self.ctx.disk.read(pid)  "
+        "# repro-lint: disable=RP01 -- cold-path stats, measured separately\n"
+    )
+    assert lint_source(src, CORE) == []
+
+
+def test_unjustified_disable_is_rp00_and_does_not_suppress():
+    src = "node = self.ctx.disk.read(pid)  # repro-lint: disable=RP01\n"
+    findings = lint_source(src, CORE)
+    assert rules_of(findings) == {RP00, RP01}
+
+
+def test_disable_only_covers_named_rules():
+    src = (
+        "self.latch.acquire()  "
+        "# repro-lint: disable=RP01 -- wrong rule named on purpose\n"
+    )
+    assert rules_of(lint_source(src, SERVICE)) == {RP02}
+
+
+def test_syntax_error_is_reported_not_raised():
+    findings = lint_source("def broken(:\n", CORE)
+    assert rules_of(findings) == {RP00}
+
+
+# ----------------------------------------------------------------------
+# The real tree
+# ----------------------------------------------------------------------
+def test_src_tree_lints_clean():
+    assert lint_paths([REPO_SRC]) == []
+
+
+def test_src_tree_has_zero_suppression_pragmas():
+    for path in iter_python_files([REPO_SRC]):
+        if path.replace(os.sep, "/").endswith("repro/analysis/lint.py"):
+            continue  # the linter documents the pragma syntax in its docstring
+        with open(path, "r", encoding="utf-8") as fh:
+            assert "repro-lint: disable" not in fh.read(), path
+
+
+def test_cli_lint_exit_codes(tmp_path, capsys):
+    from repro.__main__ import main
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("try:\n    f()\nexcept:\n    pass\n")
+    assert main(["lint", str(dirty)]) == 1
+    assert "RP04" in capsys.readouterr().out
+
+    assert main(["lint", str(tmp_path / "nope")]) == 2
