@@ -19,9 +19,17 @@ The service layer adds three more subcommands::
     python -m repro serve --snapshot county.snap # JSON-over-TCP server
     python -m repro bench-serve --threads 4      # concurrent load test
 
+The durability layer (:mod:`repro.wal`) adds write-ahead logging::
+
+    python -m repro serve --wal store/           # durable server (creates
+                                                 # or recovers the store)
+    python -m repro checkpoint --wal store/      # fold the log offline
+    python -m repro recover --wal store/         # replay + re-checkpoint
+
 The static-analysis layer adds two::
 
     python -m repro check county.snap            # index fsck (snapshot)
+    python -m repro check --wal store/           # durable-store fsck
     python -m repro check --county cecil --structure PMR   # fsck a build
     python -m repro lint src/                    # project AST lint
 
@@ -79,17 +87,48 @@ def _cmd_snapshot(args) -> int:
     return 0
 
 
+def _open_or_create_store(args):
+    """The durable store behind ``--wal DIR``: recover it, or create it
+    around a freshly built (or snapshot-loaded) index."""
+    from repro.wal import DurableStore, WalError
+
+    try:
+        if DurableStore.exists(args.wal):
+            store = DurableStore.open(args.wal, group_commit=args.group_commit)
+            print(
+                f"recovered durable store {args.wal}: checkpoint LSN "
+                f"{store.checkpoint_lsn}, last LSN {store.last_lsn}, "
+                f"{store.replayed_records} record(s) replayed",
+                flush=True,
+            )
+            return store
+        index = _build_or_open(args)
+        store = DurableStore.create(
+            args.wal, index, group_commit=args.group_commit
+        )
+        print(f"created durable store {args.wal} at LSN 0", flush=True)
+        return store
+    except WalError as exc:
+        sys.exit(f"error: cannot recover {args.wal}: {exc}")
+
+
 def _cmd_serve(args) -> int:
     from repro.service import MapServer, QueryEngine
 
-    index = _build_or_open(args)
-    engine = QueryEngine(index, cache_capacity=args.cache_size)
+    store = None
+    if args.wal:
+        store = _open_or_create_store(args)
+        index = store.index
+    else:
+        index = _build_or_open(args)
+    engine = QueryEngine(index, cache_capacity=args.cache_size, store=store)
     server = MapServer(engine, host=args.host, port=args.port)
     host, port = server.address
     print(
         f"serving {index.name} ({len(index.ctx.segments)} segments) "
         f"on {host}:{port} -- newline-delimited JSON, e.g. "
-        f'{{"op": "window", "x1": 0, "y1": 0, "x2": 500, "y2": 500}}'
+        f'{{"op": "window", "x1": 0, "y1": 0, "x2": 500, "y2": 500}}',
+        flush=True,
     )
     try:
         server.serve_forever()
@@ -97,6 +136,50 @@ def _cmd_serve(args) -> int:
         pass
     finally:
         server.server_close()
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _cmd_checkpoint(args) -> int:
+    from repro.wal import DurableStore, WalError
+
+    try:
+        store = DurableStore.open(args.wal, group_commit=args.group_commit)
+    except (FileNotFoundError, WalError) as exc:
+        sys.exit(f"error: cannot open durable store {args.wal}: {exc}")
+    try:
+        result = store.checkpoint()
+    finally:
+        store.close()
+    print(
+        f"checkpointed {args.wal} at LSN {result['checkpoint_lsn']}: "
+        f"{result['folded_records']} record(s) folded into "
+        f"{result['pages']} pages"
+    )
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.wal import DurableStore, WalError
+
+    try:
+        store = DurableStore.open(args.wal, group_commit=args.group_commit)
+    except (FileNotFoundError, WalError) as exc:
+        sys.exit(f"error: cannot recover {args.wal}: {exc}")
+    try:
+        print(
+            f"recovered {args.wal}: checkpoint LSN {store.checkpoint_lsn}, "
+            f"last LSN {store.last_lsn}, {store.replayed_records} record(s) "
+            f"replayed, {store.replay_result.skipped_records} skipped"
+        )
+        result = store.checkpoint()
+        print(
+            f"re-checkpointed at LSN {result['checkpoint_lsn']} "
+            f"({result['folded_records']} record(s) folded); log tail is empty"
+        )
+    finally:
+        store.close()
     return 0
 
 
@@ -133,6 +216,17 @@ def _cmd_check(args) -> int:
     if args.rules:
         print(FSCK_RULES.describe())
         return 0
+    if getattr(args, "wal", None):
+        from repro.analysis import check_durable
+
+        import os
+
+        if not os.path.isdir(args.wal):
+            print(f"error: no such directory: {args.wal}", file=sys.stderr)
+            return 2
+        findings = check_durable(args.wal)
+        print(format_findings(findings, title=f"fsck durable store {args.wal}"))
+        return 1 if has_errors(findings) else 0
     if args.snapshot:
         try:
             findings = check_snapshot(args.snapshot)
@@ -212,6 +306,26 @@ def main(argv=None) -> int:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
     p.add_argument("--cache-size", type=int, default=256)
+    p.add_argument(
+        "--wal",
+        default=None,
+        help="durable-store directory: create it (or recover it) and "
+        "write-ahead log every mutation",
+    )
+    p.add_argument(
+        "--group-commit",
+        type=int,
+        default=1,
+        help="fsync once per N logged records (1 = every commit)",
+    )
+
+    for name, helptext in (
+        ("checkpoint", "fold a durable store's log into a fresh snapshot"),
+        ("recover", "replay a durable store's log and re-checkpoint it"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--wal", required=True, help="durable-store directory")
+        p.add_argument("--group-commit", type=int, default=1)
 
     p = sub.add_parser("bench-serve", help="drive a server with K client threads")
     _add_common(p)
@@ -232,6 +346,12 @@ def main(argv=None) -> int:
     )
     p.add_argument("--structure", default="R*", choices=["R*", "R+", "PMR", "R"])
     p.add_argument("--rules", action="store_true", help="list fsck rules and exit")
+    p.add_argument(
+        "--wal",
+        default=None,
+        help="fsck a durable-store directory (rules FS07..FS10 plus the "
+        "full checkpoint-snapshot walk)",
+    )
 
     p = sub.add_parser("lint", help="project AST lint (RP rules)")
     p.add_argument("paths", nargs="*", default=["src/"], help="files or directories")
@@ -245,6 +365,10 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "lint":

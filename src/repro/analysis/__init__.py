@@ -12,9 +12,14 @@ Two pillars, both producing structured
 * :mod:`repro.analysis.lint` -- an AST pass enforcing the measurement
   and concurrency discipline of this codebase (RP01..RP05; see the
   module docstring for the rules and the suppression syntax).
+* :mod:`repro.analysis.fsck_wal` -- ``check_wal`` / ``check_durable``
+  extend the fsck to the durability layer (rules FS07..FS10: log
+  framing and CRCs, LSN contiguity, checkpoint-manifest vs. snapshot
+  vs. log-tail consistency).
 
-CLI: ``python -m repro check`` and ``python -m repro lint``; service
-hook: ``{"op": "check"}`` against a running map server.
+CLI: ``python -m repro check`` (``--wal DIR`` for a durable store) and
+``python -m repro lint``; service hook: ``{"op": "check"}`` against a
+running map server.
 """
 
 from repro.analysis.findings import (
@@ -28,6 +33,7 @@ from repro.analysis.findings import (
     sort_findings,
 )
 from repro.analysis.fsck import check_index, check_snapshot
+from repro.analysis.fsck_wal import check_durable, check_wal
 from repro.analysis.lint import lint_file, lint_paths, lint_source
 
 __all__ = [
@@ -36,8 +42,10 @@ __all__ = [
     "Finding",
     "LINT_RULES",
     "WARNING",
+    "check_durable",
     "check_index",
     "check_snapshot",
+    "check_wal",
     "format_findings",
     "has_errors",
     "lint_file",

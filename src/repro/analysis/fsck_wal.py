@@ -1,0 +1,225 @@
+"""WAL and durable-store integrity checks (rules FS07..FS10).
+
+The durability layer (:mod:`repro.wal`) adds three files whose mutual
+consistency the storage-level fsck cannot see: the log, the checkpoint
+snapshot, and the checkpoint manifest. These rules close that gap:
+
+* **FS07** -- the log file itself: header magic/size, per-record frame
+  and CRC integrity. A bad header is an error (nothing is recoverable);
+  a torn *tail* is a warning, because recovery truncates it by design.
+* **FS08** -- LSN discipline: records must run ``base_lsn + 1, +2, ...``
+  with no gaps or duplicates. A gap is an error: replaying around it
+  would silently lose mutations.
+* **FS09** -- checkpoint manifest vs. snapshot: the manifest's LSN must
+  match the LSN embedded in the snapshot manifest. A snapshot *newer*
+  than the manifest is a warning (an interrupted checkpoint between the
+  two atomic replaces -- recovery handles it); a manifest newer than
+  the snapshot is an error (the pointed-to checkpoint does not exist).
+* **FS10** -- checkpoint vs. log tail: the log's base LSN must not
+  exceed the checkpoint LSN (records between them would be lost --
+  error); a base *below* the checkpoint merely means the log was never
+  rotated (warning; recovery skips the folded prefix).
+
+:func:`check_wal` inspects one log file; :func:`check_durable` runs the
+full cross-check over a store directory and finishes with the complete
+:func:`~repro.analysis.fsck.check_snapshot` walk of the checkpoint, so
+``python -m repro check --wal DIR`` validates a durable store end to
+end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.analysis.findings import FSCK_RULES, Finding, error, warning
+
+FS07 = FSCK_RULES.register("FS07", "WAL header or record framing/CRC damage")
+FS08 = FSCK_RULES.register("FS08", "WAL LSN sequence has gaps or duplicates")
+FS09 = FSCK_RULES.register(
+    "FS09", "checkpoint manifest disagrees with snapshot's embedded LSN"
+)
+FS10 = FSCK_RULES.register(
+    "FS10", "WAL base LSN inconsistent with the checkpoint LSN"
+)
+
+
+def check_wal(path: str, checkpoint_lsn: Optional[int] = None) -> List[Finding]:
+    """Verify one log file: header, framing, CRCs, LSN contiguity.
+
+    With ``checkpoint_lsn`` given, also applies the FS10 base-vs-
+    checkpoint cross-check. The ``page_id`` of record-level findings is
+    the record's file offset (the closest analogue of a page anchor).
+    """
+    from repro.wal.log import scan_log
+    from repro.wal.records import WalError
+
+    path = os.fspath(path)
+    findings: List[Finding] = []
+    try:
+        scan = scan_log(path)
+    except FileNotFoundError:
+        findings.append(error(FS07, None, path, "log file is missing"))
+        return findings
+    except WalError as exc:
+        findings.append(error(FS07, None, path, str(exc)))
+        return findings
+    if scan.tail_error is not None:
+        findings.append(
+            warning(
+                FS07,
+                scan.valid_bytes,
+                path,
+                f"torn tail ({scan.tail_error}): {scan.torn_bytes} byte(s) "
+                f"past offset {scan.valid_bytes} will be truncated on "
+                f"recovery",
+            )
+        )
+    expected = scan.base_lsn + 1
+    for record, offset in zip(scan.records, scan.offsets):
+        if record.lsn != expected:
+            findings.append(
+                error(
+                    FS08,
+                    offset,
+                    path,
+                    f"record holds LSN {record.lsn} where {expected} was "
+                    f"expected (base LSN {scan.base_lsn})",
+                )
+            )
+            expected = record.lsn  # resync so one gap yields one finding
+        expected += 1
+    if checkpoint_lsn is not None:
+        if scan.base_lsn > checkpoint_lsn:
+            findings.append(
+                error(
+                    FS10,
+                    None,
+                    path,
+                    f"log base LSN {scan.base_lsn} exceeds checkpoint LSN "
+                    f"{checkpoint_lsn}: records "
+                    f"{checkpoint_lsn + 1}..{scan.base_lsn} are lost",
+                )
+            )
+        elif scan.base_lsn < checkpoint_lsn:
+            findings.append(
+                warning(
+                    FS10,
+                    None,
+                    path,
+                    f"log base LSN {scan.base_lsn} predates checkpoint LSN "
+                    f"{checkpoint_lsn}: the log was not rotated (recovery "
+                    f"skips the folded prefix)",
+                )
+            )
+    return findings
+
+
+def check_durable(root: str) -> List[Finding]:
+    """Fsck a whole durable-store directory.
+
+    Cross-checks the manifest, the snapshot's embedded checkpoint LSN,
+    and the log (FS07..FS10), then runs the full snapshot walk
+    (:func:`~repro.analysis.fsck.check_snapshot`) over the checkpoint so
+    the structural rules (R+ disjointness, PMR occupancy, storage
+    bookkeeping, ...) apply too.
+    """
+    from repro.analysis.fsck import check_snapshot
+    from repro.service.snapshot import snapshot_info
+    from repro.storage.codec import CodecError
+    from repro.wal.store import DurableStore
+
+    root = os.fspath(root)
+    paths = DurableStore.paths(root)
+    findings: List[Finding] = []
+
+    manifest_lsn: Optional[int] = None
+    if not os.path.exists(paths["manifest"]):
+        findings.append(
+            error(FS09, None, paths["manifest"], "checkpoint manifest is missing")
+        )
+    else:
+        try:
+            with open(paths["manifest"], "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            manifest_lsn = manifest["checkpoint_lsn"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            findings.append(
+                error(
+                    FS09,
+                    None,
+                    paths["manifest"],
+                    f"checkpoint manifest is unreadable: {exc}",
+                )
+            )
+
+    embedded_lsn: Optional[int] = None
+    if not os.path.exists(paths["snapshot"]):
+        findings.append(
+            error(FS09, None, paths["snapshot"], "checkpoint snapshot is missing")
+        )
+    else:
+        try:
+            embedded_lsn = snapshot_info(paths["snapshot"]).get("wal", {}).get(
+                "checkpoint_lsn"
+            )
+            if embedded_lsn is None:
+                findings.append(
+                    error(
+                        FS09,
+                        None,
+                        paths["snapshot"],
+                        "snapshot manifest embeds no checkpoint LSN",
+                    )
+                )
+        except CodecError as exc:
+            findings.append(
+                error(
+                    FS09,
+                    None,
+                    paths["snapshot"],
+                    f"snapshot header is unreadable: {exc}",
+                )
+            )
+
+    if manifest_lsn is not None and embedded_lsn is not None:
+        if embedded_lsn > manifest_lsn:
+            findings.append(
+                warning(
+                    FS09,
+                    None,
+                    root,
+                    f"snapshot LSN {embedded_lsn} is newer than manifest LSN "
+                    f"{manifest_lsn}: an interrupted checkpoint (recovery "
+                    f"trusts the snapshot)",
+                )
+            )
+        elif embedded_lsn < manifest_lsn:
+            findings.append(
+                error(
+                    FS09,
+                    None,
+                    root,
+                    f"manifest points at checkpoint LSN {manifest_lsn} but "
+                    f"the snapshot holds LSN {embedded_lsn}: the checkpoint "
+                    f"it names does not exist",
+                )
+            )
+
+    if os.path.exists(paths["log"]):
+        findings += check_wal(paths["log"], checkpoint_lsn=embedded_lsn)
+    else:
+        findings.append(
+            warning(
+                FS07,
+                None,
+                paths["log"],
+                "log file is missing (recovery starts a fresh tail at the "
+                "checkpoint)",
+            )
+        )
+
+    if os.path.exists(paths["snapshot"]) and embedded_lsn is not None:
+        findings += check_snapshot(paths["snapshot"])
+    return findings

@@ -16,7 +16,10 @@ this package *serves* them:
   grouped queries by the Morton key of their centroid to maximize
   buffer-pool reuse.
 * :mod:`repro.service.server` -- :class:`MapServer`, a threaded
-  line-delimited-JSON TCP server (``python -m repro serve``).
+  line-delimited-JSON TCP server (``python -m repro serve``). With
+  ``--wal DIR`` it serves a durable store (:mod:`repro.wal`): mutations
+  are write-ahead logged before they are applied and
+  ``{"op": "checkpoint"}`` folds the log into a fresh snapshot.
 * :mod:`repro.service.loadgen` -- ``python -m repro bench-serve``: a
   multi-threaded load generator reporting throughput, latency
   percentiles, cache hit rate, and disk accesses.

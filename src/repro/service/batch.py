@@ -13,6 +13,13 @@ The effect is measured, not assumed: :meth:`BatchExecutor.compare_orders`
 runs the same batch in arrival order and in Morton order from an equally
 cold pool and reports the disk accesses of each (``bench-serve`` prints
 the comparison, and the service tests assert Morton <= arrival).
+
+Batches may also carry mutations (``insert``/``delete``). A mutation is
+a *barrier*: it executes at exactly its arrival position, and only the
+reads between two consecutive barriers are Morton-sorted among
+themselves. That preserves both read-after-write semantics (a query
+after an insert sees it; one before does not) and -- in durable mode --
+the WAL's LSN order, which must match arrival order.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.interface import WORLD_SIZE
 from repro.core.pmr.locational import interleave
+from repro.geometry import Segment
 from repro.service.engine import QueryEngine, QuerySession
 from repro.storage.counters import MetricsSnapshot
 
@@ -32,6 +40,7 @@ from repro.storage.counters import MetricsSnapshot
 Request = Dict[str, Any]
 
 _ORDERS = ("arrival", "morton")
+_MUTATIONS = ("insert", "delete")
 
 
 def _centroid(request: Request) -> Tuple[float, float]:
@@ -73,11 +82,27 @@ class BatchExecutor:
         self.engine = engine
 
     def _schedule(self, requests: List[Request], order: str) -> List[int]:
+        """Execution order: mutations are barriers pinned at their arrival
+        positions; only each run of reads between barriers is sorted."""
         indices = list(range(len(requests)))
-        if order == "morton":
-            keys = [morton_key(*_centroid(r)) for r in requests]
-            indices.sort(key=keys.__getitem__)
-        return indices
+        if order != "morton":
+            return indices
+        schedule: List[int] = []
+        run: List[int] = []
+
+        def flush_run() -> None:
+            run.sort(key=lambda i: morton_key(*_centroid(requests[i])))
+            schedule.extend(run)
+            run.clear()
+
+        for idx in indices:
+            if requests[idx].get("op") in _MUTATIONS:
+                flush_run()
+                schedule.append(idx)
+            else:
+                run.append(idx)
+        flush_run()
+        return schedule
 
     def _dispatch(
         self, request: Request, session: QuerySession, use_cache: bool
@@ -106,6 +131,14 @@ class BatchExecutor:
                 session=session,
                 use_cache=use_cache,
             )
+        if op == "insert":
+            segment = Segment(
+                request["x1"], request["y1"], request["x2"], request["y2"]
+            )
+            return engine.insert_segment(segment, session=session)
+        if op == "delete":
+            engine.delete(int(request["seg_id"]), session=session)
+            return True
         raise ValueError(f"batch cannot execute op {op!r}")
 
     def execute(

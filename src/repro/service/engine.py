@@ -18,6 +18,13 @@ shared stack safe and attributable:
 * **Result caching** -- queries are memoized in an LRU
   (:class:`~repro.service.cache.ResultCache`) keyed on the canonicalized
   query; any ``insert``/``delete`` invalidates the whole cache.
+* **Durability (optional)** -- constructed with a
+  :class:`~repro.wal.store.DurableStore`, every mutation is logged to
+  the write-ahead log *then* applied, both under the latch so LSN order
+  matches apply order; the fsync (group-commit batched) happens after
+  the latch is released, and only then is the caller acked. A crash at
+  any point replays the logged suffix on recovery
+  (:func:`repro.wal.open_durable`).
 """
 
 from __future__ import annotations
@@ -62,17 +69,27 @@ class QuerySession:
 class QueryEngine:
     """Concurrent point/window/nearest service over one built index."""
 
-    def __init__(self, index, cache_capacity: int = 256) -> None:
+    def __init__(self, index, cache_capacity: int = 256, store=None) -> None:
         from repro.service.cache import ResultCache  # avoid import cycle
 
+        if store is not None and store.index is not index:
+            raise ValueError(
+                "durable engine must serve the store's own index: the WAL "
+                "records mutations of exactly that table and structure"
+            )
         self.index = index
         self.ctx = index.ctx
+        self.store = store
         self.latch = Latch("buffer-pool")
         self.cache = ResultCache(cache_capacity)
         self.totals = MetricsCounters()
         self._sessions: Dict[str, QuerySession] = {}
         self._sessions_lock = threading.Lock()
         self._anon = itertools.count(1)
+
+    @property
+    def durable(self) -> bool:
+        return self.store is not None
 
     # ------------------------------------------------------------------
     # Sessions
@@ -199,17 +216,31 @@ class QueryEngine:
     def insert_segment(
         self, segment: Segment, session: Optional[QuerySession] = None
     ) -> int:
-        """Append a segment to the table, index it, invalidate the cache."""
+        """Append a segment to the table, index it, invalidate the cache.
+
+        Durable mode logs the record (under the latch, so the LSN order
+        is the apply order) and group-commits after the latch drops --
+        the mutation is durable before this method returns.
+        """
         if session is None:
             session = self.session("maintenance")
         with self._attributed(session):
             seg_id = self.ctx.segments.append(segment)
+            if self.store is not None:
+                self.store.log_insert(seg_id, segment)
             self.index.insert(seg_id)
+        if self.store is not None:
+            self.store.commit()
         self.cache.invalidate_all()
         return seg_id
 
     def insert(self, seg_id: int, session: Optional[QuerySession] = None) -> None:
         """Index an already-stored segment, invalidating the cache."""
+        if self.store is not None:
+            raise RuntimeError(
+                "re-indexing an existing segment id is not representable "
+                "in the WAL; durable mode accepts insert_segment/delete only"
+            )
         if session is None:
             session = self.session("maintenance")
         with self._attributed(session):
@@ -217,12 +248,44 @@ class QueryEngine:
         self.cache.invalidate_all()
 
     def delete(self, seg_id: int, session: Optional[QuerySession] = None) -> None:
-        """Unindex a segment, invalidating the cache."""
+        """Unindex a segment, invalidating the cache.
+
+        An id outside the segment table raises ``KeyError`` *before*
+        anything is logged; deleting a stored-but-unindexed segment
+        (a double delete) logs the record first and then fails the
+        apply -- replay treats such a record as the same no-op.
+        """
+        seg_id = int(seg_id)
         if session is None:
             session = self.session("maintenance")
         with self._attributed(session):
+            if not 0 <= seg_id < len(self.ctx.segments):
+                raise KeyError(
+                    f"unknown segment id {seg_id}: the table holds "
+                    f"0..{len(self.ctx.segments) - 1}"
+                )
+            if self.store is not None:
+                self.store.log_delete(seg_id)
             self.index.delete(seg_id)
+        if self.store is not None:
+            self.store.commit()
         self.cache.invalidate_all()
+
+    def checkpoint(self, session: Optional[QuerySession] = None, _crash_point=None):
+        """Fold the WAL into a fresh snapshot (``{"op": "checkpoint"}``).
+
+        Runs under the latch at a quiescent point, so the snapshot is
+        transaction-consistent with the checkpoint LSN; the page writes
+        the pool flush performs are attributed to ``session`` (default:
+        a dedicated "checkpoint" session), keeping
+        :meth:`counters_consistent` exact.
+        """
+        if self.store is None:
+            raise RuntimeError("engine is not durable: serve with --wal")
+        if session is None:
+            session = self.session("checkpoint")
+        with self._attributed(session):
+            return self.store.checkpoint(_crash_point=_crash_point)
 
     # ------------------------------------------------------------------
     # Operations
@@ -284,5 +347,10 @@ class QueryEngine:
                 "cache": self.cache.stats(),
                 "sessions": [s.stats() for s in self.sessions()],
                 "counters_consistent": self.counters_consistent(),
+                "durable": self.store is not None,
             }
+            if self.store is not None:
+                wal_stats = self.store.stats()
+                snapshot["last_lsn"] = wal_stats["last_lsn"]
+                snapshot["wal"] = wal_stats
         return snapshot

@@ -15,12 +15,17 @@ Requests (``op`` selects the operation)::
     {"op": "batch", "requests": [...], "order": "morton"}
     {"op": "insert", "x1": 0, "y1": 0, "x2": 10, "y2": 10}
     {"op": "delete", "seg_id": 17}
+    {"op": "checkpoint"}
     {"op": "stats"}
     {"op": "check"}
 
 Responses are ``{"ok": true, "result": ...}`` or
-``{"ok": false, "error": "..."}``. Malformed lines produce an error
-response; the connection stays open until the client closes it.
+``{"ok": false, "error": "..."}``. Malformed lines, missing or
+non-numeric mutation arguments, and unknown segment ids all produce an
+error *response* -- never a dropped connection -- so one bad request in
+a client's stream cannot kill the requests behind it. ``checkpoint``
+requires the engine to be durable (``serve --wal``); on a non-durable
+server it is a structured error like any other.
 """
 
 from __future__ import annotations
@@ -35,6 +40,29 @@ from typing import Any, Dict, Optional, Tuple
 from repro.geometry import Segment
 from repro.service.batch import BatchExecutor
 from repro.service.engine import QueryEngine
+
+
+def _number(request: Dict[str, Any], key: str) -> float:
+    """Fetch a required numeric field, failing with a structured message."""
+    if key not in request:
+        raise ValueError(f"missing required field {key!r}")
+    value = request[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"field {key!r} must be a number, got {type(value).__name__}"
+        )
+    return value
+
+
+def _seg_id(request: Dict[str, Any]) -> int:
+    if "seg_id" not in request:
+        raise ValueError("missing required field 'seg_id'")
+    value = request["seg_id"]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"field 'seg_id' must be an integer, got {type(value).__name__}"
+        )
+    return value
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -127,12 +155,17 @@ class MapServer(socketserver.ThreadingTCPServer):
             }
         if op == "insert":
             segment = Segment(
-                request["x1"], request["y1"], request["x2"], request["y2"]
+                _number(request, "x1"),
+                _number(request, "y1"),
+                _number(request, "x2"),
+                _number(request, "y2"),
             )
             return engine.insert_segment(segment, session=session)
         if op == "delete":
-            engine.delete(int(request["seg_id"]), session=session)
+            engine.delete(_seg_id(request), session=session)
             return True
+        if op == "checkpoint":
+            return engine.checkpoint(session=session)
         if op == "stats":
             return engine.stats()
         if op == "check":

@@ -131,15 +131,28 @@ def _build_manifest(index) -> Dict[str, Any]:
     return manifest
 
 
-def save_index(index, dest: Union[str, os.PathLike, BinaryIO]) -> int:
+def save_index(
+    index,
+    dest: Union[str, os.PathLike, BinaryIO],
+    extra: Optional[Dict[str, Any]] = None,
+) -> int:
     """Persist a built index as a queryable snapshot.
 
     Flushes the buffer pool, then writes every disk page plus a manifest
     recording the index kind, parameters, root page id, height, page
     inventory, and segment-table head. Returns the number of pages
     written. Raises :class:`CodecError` for unsupported index types.
+
+    ``extra`` merges additional top-level keys into the manifest; the
+    durability layer embeds ``{"wal": {"checkpoint_lsn": ...}}`` so a
+    checkpoint carries its log position atomically with its pages.
     """
     manifest = _build_manifest(index)
+    if extra:
+        for key in extra:
+            if key in manifest:
+                raise CodecError(f"extra manifest key {key!r} collides")
+        manifest.update(extra)
     ctx = index.ctx
     ctx.pool.flush()
     if hasattr(dest, "write"):

@@ -258,13 +258,28 @@ def read_header(fh: BinaryIO) -> Dict[str, Any]:
 
 
 def load_snapshot(fh: BinaryIO) -> Tuple[DiskManager, Optional[Dict[str, Any]]]:
-    """Rebuild a dumped disk, returning it with the stored manifest."""
+    """Rebuild a dumped disk, returning it with the stored manifest.
+
+    A page area shorter or more damaged than the header promises raises
+    :class:`CodecError`: a truncated dump must fail loudly, never load
+    as a partially-populated disk.
+    """
     header = read_header(fh)
     disk = DiskManager(page_size=header["page_size"])
     for meta in header["pages"]:
         blob = fh.read(meta["length"])
+        if len(blob) != meta["length"]:
+            raise CodecError(
+                f"dump is truncated: page {meta['id']} promises "
+                f"{meta['length']} bytes, only {len(blob)} remain"
+            )
         _, decoder = _PAYLOAD_CODECS[meta["kind"]]
-        disk._pages[meta["id"]] = decoder(blob)
+        try:
+            disk._pages[meta["id"]] = decoder(blob)
+        except (struct.error, ValueError, KeyError, IndexError) as exc:
+            raise CodecError(
+                f"page {meta['id']} ({meta['kind']}) cannot be decoded: {exc}"
+            ) from exc
     disk._next_id = header["next_id"]
     disk._free_ids = list(header.get("free_ids", []))
     disk.physical_reads = header.get("physical_reads", 0)

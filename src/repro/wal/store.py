@@ -1,0 +1,392 @@
+"""The durable store: checkpoint + log directory, and crash recovery.
+
+A durable store is one directory holding three files::
+
+    repro.service.snapshot   the latest checkpoint (a queryable snapshot,
+                             its manifest embedding the checkpoint LSN)
+    repro.checkpoint         a tiny JSON manifest naming that checkpoint
+    repro.wal                the log of mutations since the checkpoint
+
+**Checkpoint protocol** (:meth:`DurableStore.checkpoint`): sync the log,
+write the snapshot to a temp file and ``os.replace`` it in, then the
+manifest the same way, then rotate the log to an empty file based at the
+checkpoint LSN. Every step is atomic and ordered so that a crash at any
+point leaves a recoverable store: the snapshot's *embedded* LSN is
+authoritative for where replay starts (it travels atomically with the
+page data), the manifest is a cross-checkable pointer, and an
+un-rotated log merely makes recovery skip an already-folded prefix.
+
+**Recovery** (:func:`open_durable` / :meth:`DurableStore.open`): reopen
+the snapshot, scan the log tolerating a torn final record (truncating it
+away), and replay the suffix of records with LSNs above the checkpoint.
+Replay is idempotent -- already-stored inserts and already-gone deletes
+are skipped -- and applies the net-surviving inserts in Morton (or
+Hilbert) order of their centroids, the same space-filling-curve packing
+argument as bulk loading: neighbouring segments are inserted together so
+the rebuild touches far fewer pages than log order would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.interface import WORLD_DEPTH, WORLD_SIZE
+from repro.core.pmr.locational import hilbert_index, interleave
+from repro.geometry import Point, Segment
+from repro.wal.log import WriteAheadLog, ensure_contiguous, scan_log
+from repro.wal.records import InsertRecord, WalError, WalRecord
+
+SNAPSHOT_NAME = "repro.service.snapshot"
+LOG_NAME = "repro.wal"
+MANIFEST_NAME = "repro.checkpoint"
+MANIFEST_VERSION = 1
+
+#: Replay orders for the net-insert bulk apply.
+REPLAY_ORDERS = ("morton", "hilbert", "lsn")
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by the checkpoint crash hooks (crash-injection tests only)."""
+
+
+def _fsync_dir(root: str) -> None:
+    fd = os.open(root, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_json(path: str, obj: Dict[str, Any]) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(os.path.dirname(path) or ".")
+
+
+def _clamp(v: float) -> int:
+    return min(max(int(v), 0), WORLD_SIZE - 1)
+
+
+def _curve_key(order: str) -> Callable[[Segment], int]:
+    if order == "morton":
+        return lambda s: interleave(
+            _clamp((s.x1 + s.x2) / 2), _clamp((s.y1 + s.y2) / 2)
+        )
+    if order == "hilbert":
+        return lambda s: hilbert_index(
+            WORLD_DEPTH, _clamp((s.x1 + s.x2) / 2), _clamp((s.y1 + s.y2) / 2)
+        )
+    raise ValueError(f"replay order must be one of {REPLAY_ORDERS}, got {order!r}")
+
+
+@dataclass
+class ReplayResult:
+    """What one replay pass did (``replayed_records`` is the acceptance
+    counter: records applied because they post-date the checkpoint)."""
+
+    replayed_records: int = 0
+    skipped_records: int = 0
+    inserted: int = 0
+    deleted: int = 0
+    noop_deletes: int = 0
+
+
+def replay_records(
+    index,
+    records: List[WalRecord],
+    checkpoint_lsn: int,
+    order: str = "morton",
+) -> ReplayResult:
+    """Apply a log's records on top of a checkpointed index, idempotently.
+
+    Records at or below ``checkpoint_lsn`` are skipped (they are already
+    folded into the snapshot). Table appends happen in LSN order -- ids
+    are positional, so order is the contract -- then the net-surviving
+    inserts are indexed in space-filling-curve order, then deletes of
+    checkpointed segments are applied. Replaying the same records twice
+    converges: an insert already present in both table and index is a
+    no-op, as is a delete of an already-deleted segment.
+    """
+    result = ReplayResult()
+    table = index.ctx.segments
+    preexisting = len(table)
+    pending: Dict[int, Segment] = {}
+    deletes: List[int] = []
+    for record in records:
+        if record.lsn <= checkpoint_lsn:
+            result.skipped_records += 1
+            continue
+        result.replayed_records += 1
+        if isinstance(record, InsertRecord):
+            if record.seg_id > len(table):
+                raise WalError(
+                    f"insert record LSN {record.lsn} names segment "
+                    f"{record.seg_id} but the table holds {len(table)}; "
+                    f"the log and checkpoint disagree"
+                )
+            if record.seg_id == len(table):
+                table.append(record.segment)
+            pending[record.seg_id] = record.segment
+        else:
+            if pending.pop(record.seg_id, None) is None:
+                deletes.append(record.seg_id)
+    if order == "lsn":
+        to_insert = list(pending)
+    else:
+        key = _curve_key(order)
+        to_insert = sorted(pending, key=lambda sid: key(pending[sid]))
+    for seg_id in to_insert:
+        if seg_id < preexisting and _already_indexed(index, seg_id, pending[seg_id]):
+            continue
+        index.insert(seg_id)
+        result.inserted += 1
+    for seg_id in deletes:
+        try:
+            index.delete(seg_id)
+            result.deleted += 1
+        except KeyError:
+            result.noop_deletes += 1  # already gone: duplicate replay
+    return result
+
+
+def _already_indexed(index, seg_id: int, segment: Segment) -> bool:
+    """Is ``seg_id`` already in the index? Candidate generation at one of
+    the segment's endpoints has no false negatives, so membership there
+    is authoritative."""
+    return seg_id in index.candidate_ids_at_point(Point(segment.x1, segment.y1))
+
+
+class DurableStore:
+    """One directory of checkpoint + manifest + log, and the live index."""
+
+    def __init__(
+        self,
+        root: str,
+        index,
+        wal: WriteAheadLog,
+        checkpoint_lsn: int,
+        replay: Optional[ReplayResult] = None,
+    ) -> None:
+        self.root = os.fspath(root)
+        self.index = index
+        self.wal = wal
+        self.checkpoint_lsn = checkpoint_lsn
+        self.replay_result = replay if replay is not None else ReplayResult()
+        self.checkpoints = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @classmethod
+    def paths(cls, root: str) -> Dict[str, str]:
+        root = os.fspath(root)
+        return {
+            "snapshot": os.path.join(root, SNAPSHOT_NAME),
+            "log": os.path.join(root, LOG_NAME),
+            "manifest": os.path.join(root, MANIFEST_NAME),
+        }
+
+    @classmethod
+    def exists(cls, root: str) -> bool:
+        return os.path.exists(cls.paths(root)["manifest"])
+
+    @property
+    def last_lsn(self) -> int:
+        return self.wal.last_lsn
+
+    @property
+    def replayed_records(self) -> int:
+        return self.replay_result.replayed_records
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: str, index, group_commit: int = 1) -> "DurableStore":
+        """Make ``root`` a durable store holding ``index`` at LSN 0."""
+        root = os.fspath(root)
+        os.makedirs(root, exist_ok=True)
+        if cls.exists(root):
+            raise FileExistsError(
+                f"{root} already holds a durable store; open it instead"
+            )
+        paths = cls.paths(root)
+        store = cls(
+            root,
+            index,
+            wal=WriteAheadLog.create(
+                paths["log"], base_lsn=0, group_commit=group_commit
+            ),
+            checkpoint_lsn=0,
+        )
+        store._write_snapshot(0)
+        store._write_manifest(0)
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        root: str,
+        pool_pages: int = 16,
+        group_commit: int = 1,
+        repair: bool = True,
+        replay_order: str = "morton",
+    ) -> "DurableStore":
+        """Recover a durable store: latest checkpoint + log-suffix replay.
+
+        The snapshot's embedded checkpoint LSN decides where replay
+        starts; a torn final log record is truncated away (``repair``),
+        and a log that was never rotated after a checkpoint merely gets
+        its already-folded prefix skipped.
+        """
+        from repro.service.snapshot import open_index, snapshot_info
+
+        root = os.fspath(root)
+        paths = cls.paths(root)
+        if not os.path.exists(paths["manifest"]):
+            raise FileNotFoundError(f"{root} holds no durable store manifest")
+        with open(paths["manifest"], "r", encoding="utf-8") as fh:
+            try:
+                manifest = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise WalError(f"checkpoint manifest is corrupt: {exc}") from exc
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise WalError(
+                f"unsupported checkpoint manifest version "
+                f"{manifest.get('version')!r}"
+            )
+        if not os.path.exists(paths["snapshot"]):
+            raise WalError(f"checkpoint snapshot {paths['snapshot']} is missing")
+        info = snapshot_info(paths["snapshot"])
+        embedded = info.get("wal", {}).get("checkpoint_lsn")
+        if embedded is None:
+            raise WalError(
+                "snapshot carries no embedded checkpoint LSN (not written "
+                "by a durable store?)"
+            )
+        index = open_index(paths["snapshot"], pool_pages=pool_pages)
+        if not os.path.exists(paths["log"]):
+            # A crash between checkpoint and log creation: nothing to
+            # replay; start a fresh tail at the checkpoint.
+            wal = WriteAheadLog.create(
+                paths["log"], base_lsn=embedded, group_commit=group_commit
+            )
+            return cls(root, index, wal, checkpoint_lsn=embedded)
+        scan = scan_log(paths["log"])
+        ensure_contiguous(scan, paths["log"])
+        if scan.base_lsn > embedded:
+            raise WalError(
+                f"log starts at LSN {scan.base_lsn} but the checkpoint "
+                f"holds only up to {embedded}: records are missing"
+            )
+        replay = replay_records(index, scan.records, embedded, order=replay_order)
+        wal = WriteAheadLog.open(
+            paths["log"], group_commit=group_commit, repair=repair
+        )
+        return cls(root, index, wal, checkpoint_lsn=embedded, replay=replay)
+
+    # ------------------------------------------------------------------
+    # Logging (called by the engine under its latch)
+    # ------------------------------------------------------------------
+    def log_insert(self, seg_id: int, segment: Segment) -> int:
+        return self.wal.log_insert(seg_id, segment)
+
+    def log_delete(self, seg_id: int) -> int:
+        return self.wal.log_delete(seg_id)
+
+    def commit(self) -> bool:
+        """Group-commit barrier: durable before the client is acked."""
+        return self.wal.commit()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, _crash_point: Optional[str] = None) -> Dict[str, Any]:
+        """Fold the log into a fresh snapshot and truncate the tail.
+
+        ``_crash_point`` is a crash-injection hook ("snapshot-tmp",
+        "snapshot", "manifest"): the harness aborts the protocol after
+        that step to prove every intermediate state recovers.
+        """
+        lsn = self.wal.last_lsn
+        self.wal.sync()
+        folded = lsn - self.checkpoint_lsn
+        pages = self._write_snapshot(lsn, _crash_point=_crash_point)
+        if _crash_point == "snapshot":
+            raise SimulatedCrash("crash after snapshot replace")
+        self._write_manifest(lsn)
+        if _crash_point == "manifest":
+            raise SimulatedCrash("crash after manifest replace")
+        self.wal.rotate(lsn)
+        self.checkpoint_lsn = lsn
+        self.checkpoints += 1
+        return {"checkpoint_lsn": lsn, "pages": pages, "folded_records": folded}
+
+    def _write_snapshot(
+        self, lsn: int, _crash_point: Optional[str] = None
+    ) -> int:
+        from repro.service.snapshot import save_index
+
+        snap = self.paths(self.root)["snapshot"]
+        tmp = snap + ".tmp"
+        with open(tmp, "wb") as fh:
+            pages = save_index(
+                self.index, fh, extra={"wal": {"checkpoint_lsn": lsn}}
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        if _crash_point == "snapshot-tmp":
+            raise SimulatedCrash("crash before snapshot replace")
+        os.replace(tmp, snap)
+        _fsync_dir(self.root)
+        return pages
+
+    def _write_manifest(self, lsn: int) -> None:
+        _atomic_write_json(
+            self.paths(self.root)["manifest"],
+            {
+                "version": MANIFEST_VERSION,
+                "checkpoint_lsn": lsn,
+                "snapshot": SNAPSHOT_NAME,
+                "kind": self.index.name,
+                "segments": len(self.index.ctx.segments),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Observability & teardown
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        out = self.wal.stats()
+        out["checkpoint_lsn"] = self.checkpoint_lsn
+        out["checkpoints"] = self.checkpoints
+        out["replayed_records"] = self.replay_result.replayed_records
+        out["skipped_records"] = self.replay_result.skipped_records
+        return out
+
+    def close(self) -> None:
+        self.wal.close()
+
+
+def open_durable(
+    root: str,
+    pool_pages: int = 16,
+    group_commit: int = 1,
+    repair: bool = True,
+    replay_order: str = "morton",
+) -> DurableStore:
+    """The recovery entry point: alias for :meth:`DurableStore.open`."""
+    return DurableStore.open(
+        root,
+        pool_pages=pool_pages,
+        group_commit=group_commit,
+        repair=repair,
+        replay_order=replay_order,
+    )

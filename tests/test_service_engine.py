@@ -109,6 +109,62 @@ class TestCaching:
         assert len(engine.cache) == 0
 
 
+class TestMutationInvalidation:
+    """Regression: every mutation path must invalidate the result cache."""
+
+    def test_batch_mutations_invalidate(self, engine):
+        from repro.service import BatchExecutor
+
+        batch = BatchExecutor(engine)
+        stale = engine.window(0, 0, 300, 300)
+        result = batch.execute(
+            [
+                {"op": "window", "x1": 0, "y1": 0, "x2": 300, "y2": 300},
+                {"op": "insert", "x1": 20.0, "y1": 20.0, "x2": 80.0, "y2": 85.0},
+                {"op": "window", "x1": 0, "y1": 0, "x2": 300, "y2": 300},
+            ]
+        )
+        seg_id = result.results[1]
+        assert result.results[0] == stale  # read scheduled before the barrier
+        assert seg_id in result.results[2]  # read after the barrier sees it
+        batch.execute([{"op": "delete", "seg_id": seg_id}])
+        assert seg_id not in engine.window(0, 0, 300, 300)
+        assert engine.counters_consistent()
+
+    def test_batch_barrier_pins_mutation_position(self, engine):
+        from repro.service.batch import BatchExecutor
+
+        batch = BatchExecutor(engine)
+        requests = [
+            {"op": "point", "x": 700, "y": 700},
+            {"op": "insert", "x1": 1.0, "y1": 2.0, "x2": 3.0, "y2": 4.0},
+            {"op": "point", "x": 100, "y": 100},
+            {"op": "delete", "seg_id": 0},
+            {"op": "point", "x": 500, "y": 500},
+        ]
+        schedule = batch._schedule(requests, "morton")
+        # Mutations stay at their arrival positions; reads never cross one.
+        assert schedule[1] == 1 and schedule[3] == 3
+        assert sorted(schedule) == list(range(5))
+
+    def test_durable_mutations_invalidate(self, tmp_path):
+        from repro.wal import DurableStore
+
+        index = build_index("R*", lattice_map(n=6))
+        store = DurableStore.create(tmp_path / "store", index)
+        engine = QueryEngine(index, store=store)
+        engine.window(0, 0, 400, 400)
+        assert len(engine.cache) == 1
+        seg_id = engine.insert_segment(Segment(15.0, 15.0, 95.0, 90.0))
+        assert len(engine.cache) == 0
+        assert seg_id in engine.window(0, 0, 400, 400)
+        engine.delete(seg_id)
+        assert len(engine.cache) == 0
+        assert seg_id not in engine.window(0, 0, 400, 400)
+        assert engine.stats()["last_lsn"] == 2
+        store.close()
+
+
 class TestResultCacheUnit:
     def test_lru_eviction(self):
         cache = ResultCache(capacity=2)

@@ -101,6 +101,44 @@ class TestProtocol:
         assert response["ok"] is False
         assert "error" in response
 
+    def test_unknown_seg_id_delete_is_structured_error(self, server):
+        with socket.create_connection(server.address, timeout=10) as sock:
+            with sock.makefile("rwb") as fh:
+                fh.write(b'{"op": "delete", "seg_id": 999999}\n')
+                fh.flush()
+                response = json.loads(fh.readline())
+                assert response["ok"] is False
+                assert "unknown segment id 999999" in response["error"]
+                fh.write(b'{"op": "ping"}\n')  # connection survived
+                fh.flush()
+                assert json.loads(fh.readline())["result"] == "pong"
+
+    def test_malformed_mutation_args_are_structured_errors(self, server):
+        cases = [
+            ({"op": "insert", "x1": 0, "y1": 0, "x2": 10}, "y2"),
+            ({"op": "insert", "x1": "abc", "y1": 0, "x2": 1, "y2": 1}, "x1"),
+            ({"op": "delete"}, "seg_id"),
+            ({"op": "delete", "seg_id": "seven"}, "seg_id"),
+            ({"op": "delete", "seg_id": True}, "seg_id"),
+        ]
+        with socket.create_connection(server.address, timeout=10) as sock:
+            with sock.makefile("rwb") as fh:
+                for request, field in cases:
+                    fh.write(json.dumps(request).encode("utf-8") + b"\n")
+                    fh.flush()
+                    response = json.loads(fh.readline())
+                    assert response["ok"] is False, request
+                    assert field in response["error"], request
+                # One connection survived every bad mutation in sequence.
+                fh.write(b'{"op": "ping"}\n')
+                fh.flush()
+                assert json.loads(fh.readline())["result"] == "pong"
+
+    def test_checkpoint_on_non_durable_server_is_error(self, server):
+        response = send_request(server.address, {"op": "checkpoint"})
+        assert response["ok"] is False
+        assert "durable" in response["error"]
+
     def test_one_session_per_connection(self, server):
         for _ in range(2):
             send_request(server.address, {"op": "point", "x": 60, "y": 60})
@@ -109,6 +147,36 @@ class TestProtocol:
             s for s in stats["sessions"] if s["name"].startswith("conn-")
         ]
         assert len(conn_sessions) >= 3  # two queries + this stats call
+
+
+class TestDurableServer:
+    @pytest.fixture()
+    def durable_server(self, tmp_path):
+        from repro.wal import DurableStore
+
+        index = build_index("R*", lattice_map(n=6))
+        store = DurableStore.create(tmp_path / "store", index)
+        engine = QueryEngine(index, store=store)
+        srv = MapServer(engine)
+        srv.start_background()
+        yield srv
+        srv.shutdown()
+        srv.server_close()
+        store.close()
+
+    def test_checkpoint_op(self, durable_server):
+        addr = durable_server.address
+        r = send_request(addr, {"op": "insert", "x1": 5, "y1": 5, "x2": 9, "y2": 9})
+        assert r["ok"]
+        r = send_request(addr, {"op": "checkpoint"})
+        assert r["ok"]
+        assert r["result"]["checkpoint_lsn"] == 1
+        assert r["result"]["folded_records"] == 1
+        stats = send_request(addr, {"op": "stats"})["result"]
+        assert stats["durable"] is True
+        assert stats["last_lsn"] == 1
+        assert stats["wal"]["checkpoints"] == 1
+        assert stats["counters_consistent"] is True
 
 
 class TestBenchServe:
