@@ -58,6 +58,14 @@ from repro.data import (
     generate_map,
     normalize_segments,
 )
+from repro.errors import (
+    CodecError,
+    NotDurableError,
+    ProtocolError,
+    ReproError,
+    SnapshotError,
+    WalError,
+)
 from repro.geometry import Point, Rect, Segment
 from repro.storage import BufferPool, DiskManager, MetricsCounters, StorageContext
 
@@ -66,24 +74,30 @@ __version__ = "1.0.0"
 __all__ = [
     "BufferPool",
     "COUNTY_NAMES",
+    "CodecError",
     "DiskManager",
     "GuttmanRTree",
     "KDBTree",
     "MapData",
     "MetricsCounters",
     "NNItem",
+    "NotDurableError",
     "PM1Quadtree",
     "PM2Quadtree",
     "PM3Quadtree",
     "PMRQuadtree",
     "Point",
     "PolygonResult",
+    "ProtocolError",
     "RPlusTree",
     "RStarTree",
     "Rect",
+    "ReproError",
     "Segment",
+    "SnapshotError",
     "SpatialIndex",
     "StorageContext",
+    "WalError",
     "TrueRPlusTree",
     "UniformGrid",
     "WORLD_DEPTH",

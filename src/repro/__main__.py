@@ -26,6 +26,13 @@ The durability layer (:mod:`repro.wal`) adds write-ahead logging::
     python -m repro checkpoint --wal store/      # fold the log offline
     python -m repro recover --wal store/         # replay + re-checkpoint
 
+The observability layer (:mod:`repro.obs`) adds tracing and metrics::
+
+    python -m repro serve --trace --slow-ms 5    # trace spans + slow log
+    python -m repro stats --port 8765            # live server metrics
+    python -m repro stats --format prom          # Prometheus exposition
+    python -m repro bench-serve --trace          # traced load test
+
 The static-analysis layer adds two::
 
     python -m repro check county.snap            # index fsck (snapshot)
@@ -121,7 +128,16 @@ def _cmd_serve(args) -> int:
         index = store.index
     else:
         index = _build_or_open(args)
-    engine = QueryEngine(index, cache_capacity=args.cache_size, store=store)
+    if args.trace:
+        from repro.obs import TRACER
+
+        TRACER.enable(capacity=args.trace_capacity)
+    engine = QueryEngine(
+        index,
+        cache_capacity=args.cache_size,
+        store=store,
+        slow_ms=args.slow_ms,
+    )
     server = MapServer(engine, host=args.host, port=args.port)
     host, port = server.address
     print(
@@ -197,6 +213,8 @@ def _cmd_bench_serve(args) -> int:
             snapshot=args.snapshot,
             cache_capacity=args.cache_size,
             seed=args.seed,
+            trace=args.trace,
+            slow_ms=args.slow_ms,
         )
     except FileNotFoundError:
         sys.exit(f"error: snapshot not found: {args.snapshot}")
@@ -205,6 +223,43 @@ def _cmd_bench_serve(args) -> int:
     print(format_bench_report(report))
     if report.errors or not report.counters_consistent:
         return 1
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Fetch metrics (and optionally traces) from a *running* server."""
+    import json
+
+    from repro.service import send_request
+
+    address = (args.host, args.port)
+    try:
+        if args.format == "prom":
+            response = send_request(
+                address, {"op": "metrics", "format": "prom", "v": 1}
+            )
+        elif args.format == "json":
+            response = send_request(address, {"op": "metrics", "v": 1})
+        else:  # traces
+            response = send_request(address, {"op": "trace", "v": 1})
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach server at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if not response.get("ok"):
+        error = response.get("error", {})
+        print(
+            f"error: server refused: {error.get('code')}: "
+            f"{error.get('message')}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format == "prom":
+        sys.stdout.write(response["result"])
+    else:
+        print(json.dumps(response["result"], indent=2))
     return 0
 
 
@@ -318,6 +373,23 @@ def main(argv=None) -> int:
         default=1,
         help="fsync once per N logged records (1 = every commit)",
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="capture per-query trace spans (read back via 'op': 'trace')",
+    )
+    p.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=64,
+        help="finished traces kept in the ring buffer",
+    )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="log queries slower than this many milliseconds",
+    )
 
     for name, helptext in (
         ("checkpoint", "fold a durable store's log into a fresh snapshot"),
@@ -335,6 +407,31 @@ def main(argv=None) -> int:
     p.add_argument("--requests", type=int, default=200)
     p.add_argument("--cache-size", type=int, default=256)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable tracing for the run (reported, and stresses the "
+        "instrumented path)",
+    )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="arm the slow-query log at this threshold",
+    )
+
+    p = sub.add_parser(
+        "stats", help="fetch metrics/traces from a running server"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument(
+        "--format",
+        default="json",
+        choices=["json", "prom", "traces"],
+        help="json = metrics registry, prom = Prometheus text exposition, "
+        "traces = recent trace trees",
+    )
 
     p = sub.add_parser("check", help="static index fsck (no queries executed)")
     _add_common(p)
@@ -369,6 +466,8 @@ def main(argv=None) -> int:
         return _cmd_checkpoint(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "lint":

@@ -1,0 +1,81 @@
+"""The project-wide exception hierarchy.
+
+Every layer used to define its own root error (``CodecError`` in
+:mod:`repro.storage.codec`, ``WalError`` in :mod:`repro.wal.records`),
+which made "did *our* stack fail, or did Python?" an unanswerable
+question at the service boundary. This module is the single home:
+
+* :class:`ReproError` -- the root; anything raised *by design* anywhere
+  in the package derives from it, so the server can distinguish a
+  structured failure (serve an error envelope) from a genuine bug
+  (serve ``internal`` and keep the stack trace).
+* :class:`CodecError` -- a page payload or snapshot cannot be
+  (de)serialized. Also a :class:`ValueError`, as it always was.
+* :class:`SnapshotError` -- a snapshot *manifest* is missing, corrupt,
+  or unsupported. A subclass of :class:`CodecError` so existing
+  ``except CodecError`` recovery paths keep catching it.
+* :class:`WalError` -- the write-ahead log or checkpoint directory
+  cannot be trusted. Also a :class:`ValueError`, as it always was.
+* :class:`ProtocolError` -- a client request is malformed: unknown op,
+  bad arguments, an operation the server cannot honour. Carries the
+  wire-protocol error ``code`` served in the error envelope (see
+  ``docs/architecture.md`` for the code table).
+* :class:`NotDurableError` -- a durability-only operation (checkpoint)
+  was asked of a non-durable engine. Subclasses both
+  :class:`ProtocolError` (it maps to the ``not_durable`` wire code) and
+  :class:`RuntimeError` (its historical type, so existing callers'
+  ``except RuntimeError`` still works).
+
+The old import locations (``repro.storage.CodecError``,
+``repro.wal.WalError``, ...) re-export these classes, so no caller
+breaks; new code should import from here.
+"""
+
+from __future__ import annotations
+
+#: Wire-protocol error codes served in the error envelope
+#: ``{"ok": false, "error": {"code": ..., "message": ...}}``.
+ERROR_CODES = (
+    "unknown_op",    # the request's "op" names no operation
+    "bad_args",      # a required field is missing or mis-typed
+    "unknown_seg",   # a segment id outside the segment table
+    "not_durable",   # checkpoint asked of a server without --wal
+    "internal",      # anything else: a server-side bug, not the client
+)
+
+
+class ReproError(Exception):
+    """Root of every exception this package raises by design."""
+
+
+class CodecError(ReproError, ValueError):
+    """A page payload or snapshot cannot be (de)serialized."""
+
+
+class SnapshotError(CodecError):
+    """A snapshot manifest is missing, corrupt, or unsupported."""
+
+
+class WalError(ReproError, ValueError):
+    """The write-ahead log (or checkpoint manifest) cannot be trusted."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A malformed or unsupported client request.
+
+    ``code`` is the wire-protocol error code (one of :data:`ERROR_CODES`)
+    the server puts in the error envelope.
+    """
+
+    def __init__(self, message: str, code: str = "bad_args") -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+
+
+class NotDurableError(ProtocolError, RuntimeError):
+    """A durability-only operation was asked of a non-durable engine."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="not_durable")

@@ -1,0 +1,51 @@
+"""Observability: structured tracing, latency histograms, metrics export.
+
+The paper's contribution is *measurement* -- disk accesses, segment
+comparisons, bounding-box tests per structure -- and the service layer
+already aggregates those per session. This package answers the question
+the aggregates cannot: **what is slow, and why, per query**.
+
+* :mod:`repro.obs.trace` -- :class:`Tracer`: per-query span trees
+  (``traverse`` -> page fetch/miss -> segment-table read, WAL append ->
+  fsync, cache hit/miss) captured into a bounded ring buffer. Disabled
+  tracing is a single attribute check on the hot path -- no allocation,
+  no thread-local lookup.
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry`: process-wide
+  named counters and fixed-bucket log-scale latency histograms, plus the
+  slow-query log.
+* :mod:`repro.obs.prom` -- Prometheus text exposition rendering and a
+  small parser used by the tests and the CI smoke job to prove the
+  output is valid.
+
+Wire-up: :meth:`repro.service.engine.QueryEngine.execute` opens one
+trace and one histogram observation per request (every op -- point,
+window, nearest, batch, insert, delete, checkpoint, stats, check --
+identically); the storage and WAL layers emit events into whatever trace
+is active on their thread. The server exposes ``{"op": "trace"}`` and
+``{"op": "metrics"}``; the CLI adds ``python -m repro stats --format
+prom|json``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+    SlowQueryLog,
+    get_registry,
+)
+from repro.obs.prom import parse_prom_text, render_prom
+from repro.obs.trace import TRACER, Tracer, trace_event, trace_span
+
+__all__ = [
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "TRACER",
+    "Tracer",
+    "get_registry",
+    "parse_prom_text",
+    "render_prom",
+    "trace_event",
+    "trace_span",
+]

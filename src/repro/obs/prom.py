@@ -1,0 +1,190 @@
+"""Prometheus text exposition: rendering, and a parser to prove it.
+
+:func:`render_prom` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ (0.0.4):
+``# HELP`` / ``# TYPE`` headers, counters as a single sample, histograms
+as cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+
+:func:`parse_prom_text` is a deliberately strict reader of that same
+format, used by the unit tests and the CI ``observability-smoke`` job to
+assert the server's export actually parses -- the exporter and its proof
+live together so they cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^ ]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: One-line help strings for the metric families this project exports.
+HELP_TEXT = {
+    "repro_queries_total": "Requests dispatched through QueryEngine.execute, by op and status.",
+    "repro_cache_events_total": "Result-cache lookups by outcome (hit/miss).",
+    "repro_slow_queries_total": "Queries that breached the slow-query threshold.",
+    "repro_traces_total": "Traces captured by the tracer.",
+    "repro_op_latency_seconds": "End-to-end latency of QueryEngine.execute, by op.",
+}
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(str(v))}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prom(registry) -> str:
+    """Render every metric in ``registry`` as Prometheus text."""
+    from repro.obs.metrics import BUCKET_BOUNDS
+
+    lines: List[str] = []
+    seen_headers = set()
+
+    def header(name: str, kind: str) -> None:
+        if name in seen_headers:
+            return
+        seen_headers.add(name)
+        help_text = HELP_TEXT.get(name, f"{name} (no help registered)")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for counter in sorted(registry.counters(), key=lambda c: (c.name, c.labels)):
+        header(counter.name, "counter")
+        lines.append(
+            f"{counter.name}{_format_labels(counter.labels)} {counter.value}"
+        )
+    for hist in sorted(registry.histograms(), key=lambda h: (h.name, h.labels)):
+        header(hist.name, "histogram")
+        counts, total, sum_seconds = hist.raw()
+        cumulative = 0
+        for bound, count in zip(BUCKET_BOUNDS, counts):
+            cumulative += count
+            le_label = 'le="%s"' % _format_value(bound)
+            lines.append(
+                f"{hist.name}_bucket"
+                f"{_format_labels(hist.labels, le_label)} {cumulative}"
+            )
+        cumulative += counts[-1]
+        inf_label = 'le="+Inf"'
+        lines.append(
+            f"{hist.name}_bucket"
+            f"{_format_labels(hist.labels, inf_label)} {cumulative}"
+        )
+        lines.append(
+            f"{hist.name}_sum{_format_labels(hist.labels)} "
+            f"{_format_value(sum_seconds)}"
+        )
+        lines.append(
+            f"{hist.name}_count{_format_labels(hist.labels)} {total}"
+        )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prom_text(text: str) -> Dict[str, Dict]:
+    """Parse Prometheus text exposition, strictly.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(sample_name, labels_dict, value), ...]}}``. Raises ``ValueError``
+    on anything malformed: an unknown sample family, a ``# TYPE`` after
+    samples of that family, a histogram whose ``_bucket`` series is not
+    cumulative or whose ``+Inf`` bucket disagrees with ``_count``.
+    """
+    families: Dict[str, Dict] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            _, kind, rest = line.split(" ", 2)
+            name, _, payload = rest.partition(" ")
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad metric name {name!r}")
+            family = families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )
+            if kind == "TYPE":
+                if family["samples"]:
+                    raise ValueError(
+                        f"line {lineno}: TYPE for {name} after its samples"
+                    )
+                family["type"] = payload
+            else:
+                family["help"] = payload
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        sample_name = m.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", sample_name)
+        family = families.get(base) or families.get(sample_name)
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no # TYPE header"
+            )
+        labels: Dict[str, str] = {}
+        if m.group("labels"):
+            consumed = 0
+            for lm in _LABEL_RE.finditer(m.group("labels")):
+                labels[lm.group(1)] = lm.group(2)
+                consumed += 1
+            if consumed == 0:
+                raise ValueError(f"line {lineno}: bad labels in {line!r}")
+        raw = m.group("value")
+        value = float("inf") if raw == "+Inf" else float(raw)
+        family["samples"].append((sample_name, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, Dict]) -> None:
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+        counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        for sample_name, labels, value in family["samples"]:
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if sample_name == f"{name}_bucket":
+                le = labels.get("le")
+                if le is None:
+                    raise ValueError(f"{name}: bucket sample without le label")
+                bound = float("inf") if le == "+Inf" else float(le)
+                series.setdefault(key, []).append((bound, value))
+            elif sample_name == f"{name}_count":
+                counts[key] = value
+        for key, buckets in series.items():
+            ordered = sorted(buckets)
+            values = [v for _, v in ordered]
+            if values != sorted(values):
+                raise ValueError(f"{name}: bucket counts are not cumulative")
+            if ordered[-1][0] != float("inf"):
+                raise ValueError(f"{name}: histogram lacks a +Inf bucket")
+            if key in counts and counts[key] != ordered[-1][1]:
+                raise ValueError(
+                    f"{name}: +Inf bucket {ordered[-1][1]} != _count {counts[key]}"
+                )

@@ -1,0 +1,267 @@
+"""Per-query trace spans, captured into a bounded ring buffer.
+
+A *trace* is one span tree for one engine request: a root span named
+after the op, child spans for the phases the engine distinguishes
+(``traverse``, ``apply``, ``commit``), and zero-duration *events* for
+the storage traffic underneath (``page_fetch``, ``segment_read``,
+``wal_append``, ``wal_fsync``, ``cache_hit``, ``cache_miss``).
+
+Design constraints, in priority order:
+
+1. **Disabled tracing must cost (almost) nothing.** Every hook in the
+   storage and WAL layers is guarded by ``if TRACER.enabled:`` -- one
+   attribute load and one branch, no allocation, no thread-local access.
+   ``bench-serve`` with tracing off must stay within ~5% of the
+   pre-instrumentation baseline.
+2. **Traces are bounded.** Finished traces land in a ring buffer
+   (``capacity`` traces); within a trace, at most ``max_events`` child
+   records are kept and the rest are counted in ``dropped`` -- a window
+   query over a million segments cannot balloon a trace.
+3. **Threads do not interleave.** The active span stack is
+   thread-local, so K server threads tracing concurrently each build
+   their own tree; only the finished-trace ring is shared (under a
+   lock).
+
+The module-level :data:`TRACER` is the process-wide instance every
+layer emits into -- the same singleton pattern as the process-wide
+:func:`repro.obs.metrics.get_registry`, and consistent with it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+
+class _SpanHandle:
+    """Context manager for one open span (internal; reuse via Tracer)."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._record is not None:
+            self._tracer._close_span(self._record)
+
+    def set_error(self, message: str) -> None:
+        """Mark the span failed (no-op on the disabled handle)."""
+        if self._record is not None:
+            self._record["error"] = message
+
+
+#: The shared do-nothing handle served when tracing is off or no trace is
+#: active on this thread: entering/exiting it allocates nothing.
+_NOOP = _SpanHandle.__new__(_SpanHandle)
+_NOOP._tracer = None  # type: ignore[assignment]
+_NOOP._record = None
+
+
+class Tracer:
+    """Build span trees per thread; keep the last ``capacity`` of them.
+
+    A span record is a plain dict (JSON-ready for the server's
+    ``{"op": "trace"}``)::
+
+        {"name": "window", "start_us": 12.3, "dur_us": 840.1,
+         "attrs": {...}, "spans": [...], "events": 37, "dropped": 0}
+
+    ``events`` counts every child record *attempted*; ``dropped`` the
+    subset discarded once ``max_events`` was reached.
+    """
+
+    def __init__(self, capacity: int = 64, max_events: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.enabled = False
+        self.capacity = capacity
+        self.max_events = max_events
+        self.started = 0
+        self.finished = 0
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        self._ring_lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def enable(
+        self, capacity: Optional[int] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Turn tracing on (optionally resizing the ring buffer)."""
+        if capacity is not None and capacity != self.capacity:
+            if capacity < 1:
+                raise ValueError(f"capacity must be >= 1, got {capacity}")
+            self.capacity = capacity
+            with self._ring_lock:
+                self._ring = deque(self._ring, maxlen=capacity)
+        if max_events is not None:
+            if max_events < 1:
+                raise ValueError(f"max_events must be >= 1, got {max_events}")
+            self.max_events = max_events
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every finished trace (the stats counters are kept)."""
+        with self._ring_lock:
+            self._ring.clear()
+
+    # ------------------------------------------------------------------
+    # Trace lifecycle (called by the engine's dispatch point)
+    # ------------------------------------------------------------------
+    def start_trace(self, op: str, **attrs: Any) -> Optional[Dict[str, Any]]:
+        """Open a root span for this thread; returns None when disabled.
+
+        The engine calls this once per request and MUST pair it with
+        :meth:`finish_trace` (or :meth:`abort_trace`) in a finally block.
+        """
+        if not self.enabled:
+            return None
+        root: Dict[str, Any] = {
+            "name": op,
+            "start_us": 0.0,
+            "dur_us": 0.0,
+            "attrs": attrs,
+            "spans": [],
+            "events": 0,
+            "dropped": 0,
+            "_t0": time.perf_counter(),
+        }
+        self._local.stack = [root]
+        self.started += 1
+        return root
+
+    def active(self) -> bool:
+        """Is a trace open on the calling thread?
+
+        The engine uses this to nest: an op executed *inside* another
+        traced op (a batch's sub-requests) becomes a child span of the
+        enclosing trace instead of clobbering it.
+        """
+        return bool(getattr(self._local, "stack", None))
+
+    def finish_trace(
+        self, root: Dict[str, Any], error: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Close the root span and publish the trace to the ring."""
+        root["dur_us"] = (time.perf_counter() - root.pop("_t0")) * 1e6
+        if error is not None:
+            root["error"] = error
+        self._local.stack = None
+        with self._ring_lock:
+            self._ring.append(root)
+            self.finished += 1
+        return root
+
+    def abort_trace(self, root: Dict[str, Any]) -> None:
+        """Drop an open trace without publishing it (engine teardown)."""
+        root.pop("_t0", None)
+        self._local.stack = None
+
+    # ------------------------------------------------------------------
+    # Spans and events (called from any layer, any thread)
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """A child span of whatever is open on this thread.
+
+        With tracing disabled -- or on a thread with no active trace --
+        this returns a shared no-op handle: nothing is allocated.
+        """
+        if not self.enabled:
+            return _NOOP
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return _NOOP
+        root = stack[0]
+        root["events"] += 1
+        if root["events"] > self.max_events:
+            root["dropped"] += 1
+            return _NOOP
+        parent = stack[-1]
+        record: Dict[str, Any] = {
+            "name": name,
+            "start_us": (time.perf_counter() - root["_t0"]) * 1e6,
+            "dur_us": 0.0,
+            "spans": [],
+            "_t0": time.perf_counter(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        parent["spans"].append(record)
+        stack.append(record)
+        return _SpanHandle(self, record)
+
+    def _close_span(self, record: Dict[str, Any]) -> None:
+        record["dur_us"] = (time.perf_counter() - record.pop("_t0")) * 1e6
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is record:
+            stack.pop()
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A zero-duration child record (a point in time, not a range)."""
+        if not self.enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return
+        root = stack[0]
+        root["events"] += 1
+        if root["events"] > self.max_events:
+            root["dropped"] += 1
+            return
+        record: Dict[str, Any] = {
+            "name": name,
+            "start_us": (time.perf_counter() - root["_t0"]) * 1e6,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        stack[-1]["spans"].append(record)
+
+    # ------------------------------------------------------------------
+    # Reading traces back
+    # ------------------------------------------------------------------
+    def recent(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The last ``n`` finished traces, oldest first (all by default)."""
+        with self._ring_lock:
+            traces = list(self._ring)
+        if n is not None:
+            traces = traces[-n:]
+        return traces
+
+    def stats(self) -> Dict[str, Any]:
+        with self._ring_lock:
+            buffered = len(self._ring)
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "max_events": self.max_events,
+            "buffered": buffered,
+            "started": self.started,
+            "finished": self.finished,
+        }
+
+
+#: The process-wide tracer every instrumented layer emits into.
+TRACER = Tracer()
+
+
+def trace_span(name: str, **attrs: Any) -> _SpanHandle:
+    """Module-level shorthand for ``TRACER.span(...)``."""
+    return TRACER.span(name, **attrs)
+
+
+def trace_event(name: str, **attrs: Any) -> None:
+    """Module-level shorthand for ``TRACER.event(...)``."""
+    TRACER.event(name, **attrs)

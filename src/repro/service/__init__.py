@@ -23,27 +23,62 @@ this package *serves* them:
 * :mod:`repro.service.loadgen` -- ``python -m repro bench-serve``: a
   multi-threaded load generator reporting throughput, latency
   percentiles, cache hit rate, and disk accesses.
+* :mod:`repro.service.api` -- the typed request dataclasses
+  (:class:`PointQuery`, :class:`WindowQuery`, ...) every surface parses
+  into; :meth:`QueryEngine.execute` is the single dispatch point where
+  tracing and metrics (:mod:`repro.obs`) attach.
 """
 
+from repro.service.api import (
+    PROTOCOL_VERSION,
+    BatchRequest,
+    Check,
+    Checkpoint,
+    Delete,
+    Insert,
+    Metrics,
+    NearestQuery,
+    PointQuery,
+    Stats,
+    Trace,
+    WindowQuery,
+    parse_batch_item,
+    parse_request,
+)
 from repro.service.batch import BatchExecutor, BatchResult, morton_key
 from repro.service.cache import ResultCache
 from repro.service.engine import QueryEngine, QuerySession
 from repro.service.loadgen import BenchReport, bench_serve, format_bench_report
-from repro.service.server import MapServer, send_request
+from repro.service.server import MapServer, error_envelope, send_request
 from repro.service.snapshot import open_index, save_index, snapshot_info
 
 __all__ = [
     "BatchExecutor",
+    "BatchRequest",
     "BatchResult",
     "BenchReport",
+    "Check",
+    "Checkpoint",
+    "Delete",
+    "Insert",
     "MapServer",
+    "Metrics",
+    "NearestQuery",
+    "PROTOCOL_VERSION",
+    "PointQuery",
     "QueryEngine",
     "QuerySession",
     "ResultCache",
+    "Stats",
+    "Trace",
+    "WindowQuery",
     "bench_serve",
+    "error_envelope",
     "format_bench_report",
     "morton_key",
     "open_index",
+    "parse_batch_item",
+    "parse_request",
     "save_index",
     "send_request",
     "snapshot_info",

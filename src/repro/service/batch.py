@@ -20,6 +20,12 @@ reads between two consecutive barriers are Morton-sorted among
 themselves. That preserves both read-after-write semantics (a query
 after an insert sees it; one before does not) and -- in durable mode --
 the WAL's LSN order, which must match arrival order.
+
+Each member is parsed into a typed request
+(:func:`repro.service.api.parse_batch_item`) and dispatched through
+:meth:`QueryEngine.execute`, so batch members are validated, traced, and
+histogrammed exactly like standalone requests -- under an enabled
+tracer, a batch trace shows one child span per member.
 """
 
 from __future__ import annotations
@@ -29,7 +35,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.interface import WORLD_SIZE
 from repro.core.pmr.locational import interleave
-from repro.geometry import Segment
+from repro.service.api import (
+    Delete,
+    Insert,
+    NearestQuery,
+    PointQuery,
+    WindowQuery,
+    parse_batch_item,
+)
 from repro.service.engine import QueryEngine, QuerySession
 from repro.storage.counters import MetricsSnapshot
 
@@ -40,19 +53,24 @@ from repro.storage.counters import MetricsSnapshot
 Request = Dict[str, Any]
 
 _ORDERS = ("arrival", "morton")
-_MUTATIONS = ("insert", "delete")
+_MUTATIONS = (Insert, Delete)
 
 
-def _centroid(request: Request) -> Tuple[float, float]:
-    op = request.get("op")
-    if op == "window":
-        return (
-            (float(request["x1"]) + float(request["x2"])) / 2.0,
-            (float(request["y1"]) + float(request["y2"])) / 2.0,
-        )
-    if op in ("point", "nearest"):
-        return float(request["x"]), float(request["y"])
-    raise ValueError(f"batch cannot execute op {op!r}")
+def _is_mutation(request: Any) -> bool:
+    if isinstance(request, dict):
+        return request.get("op") in ("insert", "delete")
+    return isinstance(request, _MUTATIONS)
+
+
+def _centroid(request: Any) -> Tuple[float, float]:
+    """Scheduling key coordinate of a typed request (or a wire dict)."""
+    if isinstance(request, dict):
+        request = parse_batch_item(request)
+    if isinstance(request, WindowQuery):
+        return (request.x1 + request.x2) / 2.0, (request.y1 + request.y2) / 2.0
+    if isinstance(request, (PointQuery, NearestQuery)):
+        return request.x, request.y
+    raise ValueError(f"no centroid for request {type(request).__name__}")
 
 
 def morton_key(x: float, y: float) -> int:
@@ -81,7 +99,7 @@ class BatchExecutor:
     def __init__(self, engine: QueryEngine) -> None:
         self.engine = engine
 
-    def _schedule(self, requests: List[Request], order: str) -> List[int]:
+    def _schedule(self, requests: List[Any], order: str) -> List[int]:
         """Execution order: mutations are barriers pinned at their arrival
         positions; only each run of reads between barriers is sorted."""
         indices = list(range(len(requests)))
@@ -96,50 +114,13 @@ class BatchExecutor:
             run.clear()
 
         for idx in indices:
-            if requests[idx].get("op") in _MUTATIONS:
+            if _is_mutation(requests[idx]):
                 flush_run()
                 schedule.append(idx)
             else:
                 run.append(idx)
         flush_run()
         return schedule
-
-    def _dispatch(
-        self, request: Request, session: QuerySession, use_cache: bool
-    ) -> Any:
-        op = request["op"]
-        engine = self.engine
-        if op == "point":
-            return engine.point(
-                request["x"], request["y"], session=session, use_cache=use_cache
-            )
-        if op == "window":
-            return engine.window(
-                request["x1"],
-                request["y1"],
-                request["x2"],
-                request["y2"],
-                mode=request.get("mode", "intersects"),
-                session=session,
-                use_cache=use_cache,
-            )
-        if op == "nearest":
-            return engine.nearest(
-                request["x"],
-                request["y"],
-                k=int(request.get("k", 1)),
-                session=session,
-                use_cache=use_cache,
-            )
-        if op == "insert":
-            segment = Segment(
-                request["x1"], request["y1"], request["x2"], request["y2"]
-            )
-            return engine.insert_segment(segment, session=session)
-        if op == "delete":
-            engine.delete(int(request["seg_id"]), session=session)
-            return True
-        raise ValueError(f"batch cannot execute op {op!r}")
 
     def execute(
         self,
@@ -158,10 +139,11 @@ class BatchExecutor:
             raise ValueError(f"order must be one of {_ORDERS}, got {order!r}")
         if session is None:
             session = self.engine.session()
-        results: List[Any] = [None] * len(requests)
+        typed = [parse_batch_item(raw, use_cache=use_cache) for raw in requests]
+        results: List[Any] = [None] * len(typed)
         before = session.counters.snapshot()
-        for idx in self._schedule(requests, order):
-            results[idx] = self._dispatch(requests[idx], session, use_cache)
+        for idx in self._schedule(typed, order):
+            results[idx] = self.engine.execute(typed[idx], session=session)
         return BatchResult(
             results=results,
             order=order,

@@ -1,9 +1,22 @@
-"""A thread-safe, metered read path over one spatial index.
+"""A thread-safe, metered, *observable* read path over one spatial index.
 
 The storage substrate is single-threaded by design (the paper measures a
 solitary structure); a server is not. The :class:`QueryEngine` makes the
 shared stack safe and attributable:
 
+* **One dispatch point** -- every operation, from a point query to a
+  checkpoint, is a typed request (:mod:`repro.service.api`) run through
+  :meth:`QueryEngine.execute`. The old ``point``/``window``/``nearest``/
+  ``insert_segment``/``delete``/``checkpoint`` methods survive as thin
+  wrappers that build a request, so callers and the cache keys are
+  unchanged -- but instrumentation now attaches in exactly one place.
+* **Observability** -- ``execute`` opens a trace span per request
+  (:data:`repro.obs.trace.TRACER`; nested requests, e.g. a batch's
+  members, become child spans), observes a per-op latency histogram and
+  request counter in the process-wide
+  :class:`~repro.obs.metrics.MetricsRegistry`, and feeds the slow-query
+  log. With tracing disabled the per-request cost is a couple of
+  attribute checks -- no allocation.
 * **Latching** -- every traversal (and every counter swap) runs under one
   :class:`~repro.storage.latch.Latch` guarding the shared buffer pool, so
   N worker threads can issue queries concurrently without corrupting
@@ -31,15 +44,32 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.queries import (
     nearest_k_segments,
     segments_at_point,
     window_query,
 )
+from repro.errors import NotDurableError, ProtocolError
 from repro.geometry import Point, Rect, Segment
+from repro.obs.metrics import MetricsRegistry, SlowQueryLog, get_registry
+from repro.obs.trace import TRACER
+from repro.service.api import (
+    BatchRequest,
+    Check,
+    Checkpoint,
+    Delete,
+    Insert,
+    Metrics,
+    NearestQuery,
+    PointQuery,
+    Stats,
+    Trace,
+    WindowQuery,
+)
 from repro.storage.counters import MetricsCounters
 from repro.storage.latch import Latch
 
@@ -67,9 +97,17 @@ class QuerySession:
 
 
 class QueryEngine:
-    """Concurrent point/window/nearest service over one built index."""
+    """Concurrent typed-request service over one built index."""
 
-    def __init__(self, index, cache_capacity: int = 256, store=None) -> None:
+    def __init__(
+        self,
+        index,
+        cache_capacity: int = 256,
+        store=None,
+        registry: Optional[MetricsRegistry] = None,
+        slow_ms: Optional[float] = None,
+        slow_log_capacity: int = 64,
+    ) -> None:
         from repro.service.cache import ResultCache  # avoid import cycle
 
         if store is not None and store.index is not index:
@@ -83,13 +121,37 @@ class QueryEngine:
         self.latch = Latch("buffer-pool")
         self.cache = ResultCache(cache_capacity)
         self.totals = MetricsCounters()
+        self.registry = registry if registry is not None else get_registry()
+        self.slow_log = SlowQueryLog(slow_ms, capacity=slow_log_capacity)
         self._sessions: Dict[str, QuerySession] = {}
         self._sessions_lock = threading.Lock()
         self._anon = itertools.count(1)
+        self._batch = None
+        # Per-op metric handles, resolved once so the hot path is a single
+        # dict lookup (the registry itself get-or-creates lazily).
+        self._op_metrics: Dict[str, Tuple[Any, Any]] = {}
+        self._op_error_counters: Dict[str, Any] = {}
+        self._cache_hit_counter = self.registry.counter(
+            "repro_cache_events_total", outcome="hit"
+        )
+        self._cache_miss_counter = self.registry.counter(
+            "repro_cache_events_total", outcome="miss"
+        )
+        self._slow_counter = self.registry.counter("repro_slow_queries_total")
+        self._trace_counter = self.registry.counter("repro_traces_total")
 
     @property
     def durable(self) -> bool:
         return self.store is not None
+
+    @property
+    def batch(self):
+        """The engine's batch executor (lazy: batch imports this module)."""
+        if self._batch is None:
+            from repro.service.batch import BatchExecutor
+
+            self._batch = BatchExecutor(self)
+        return self._batch
 
     # ------------------------------------------------------------------
     # Sessions
@@ -114,6 +176,140 @@ class QueryEngine:
         for session in self.sessions():
             total.merge(session.counters)
         return total == self.totals
+
+    # ------------------------------------------------------------------
+    # The single dispatch point
+    # ------------------------------------------------------------------
+    def execute(self, request, session: Optional[QuerySession] = None):
+        """Run any typed request (:mod:`repro.service.api`).
+
+        This is where *all* instrumentation attaches: one latency
+        histogram observation and one request counter per call (by op
+        and status), one trace (or, nested inside an active trace --
+        e.g. a batch member -- one child span), and the slow-query log.
+        Every op goes through here, so every op is measured identically.
+        """
+        try:
+            op = request.OP
+        except AttributeError:
+            raise ProtocolError(
+                f"not a typed request: {type(request).__name__}; build one "
+                f"from repro.service.api (or call the wrapper methods)"
+            ) from None
+        root = span = None
+        if TRACER.enabled:
+            if TRACER.active():
+                span = TRACER.span(op, **request.describe())
+                span.__enter__()
+            else:
+                root = TRACER.start_trace(op, **request.describe())
+        error: Optional[str] = None
+        start = time.perf_counter()
+        try:
+            return self._dispatch(request, session)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            pair = self._op_metrics.get(op)
+            if pair is None:
+                pair = self._metric_pair(op)
+            if error is None:
+                # One critical section covers histogram + ok counter.
+                pair[0].observe_and_count(elapsed, pair[1])
+            else:
+                pair[0].observe(elapsed)
+                self._count_error(op)
+            # describe() builds a dict; only pay for it with the log armed.
+            if self.slow_log.threshold_ms is not None and self.slow_log.record(
+                op, elapsed, request.describe()
+            ):
+                self._slow_counter.inc()
+            if root is not None:
+                TRACER.finish_trace(root, error=error)
+                self._trace_counter.inc()
+            elif span is not None:
+                if error is not None:
+                    span.set_error(error)
+                span.__exit__(None, None, None)
+
+    def _metric_pair(self, op: str) -> Tuple[Any, Any]:
+        """Resolve (latency histogram, ok counter) for ``op``, once."""
+        return self._op_metrics.setdefault(
+            op,
+            (
+                self.registry.histogram("repro_op_latency_seconds", op=op),
+                self.registry.counter("repro_queries_total", op=op, status="ok"),
+            ),
+        )
+
+    def _count_error(self, op: str) -> None:
+        counter = self._op_error_counters.get(op)
+        if counter is None:
+            counter = self._op_error_counters.setdefault(
+                op,
+                self.registry.counter(
+                    "repro_queries_total", op=op, status="error"
+                ),
+            )
+        counter.inc()
+
+    def _dispatch(self, request, session: Optional[QuerySession]):
+        if isinstance(request, PointQuery):
+            return self._run(
+                request.cache_key(),
+                session,
+                request.use_cache,
+                lambda: segments_at_point(
+                    self.index, Point(request.x, request.y)
+                ),
+            )
+        if isinstance(request, WindowQuery):
+            rect = Rect(request.x1, request.y1, request.x2, request.y2)
+            return self._run(
+                request.cache_key(),
+                session,
+                request.use_cache,
+                lambda: window_query(self.index, rect, mode=request.mode),
+            )
+        if isinstance(request, NearestQuery):
+            return self._run(
+                request.cache_key(),
+                session,
+                request.use_cache,
+                lambda: nearest_k_segments(
+                    self.index, Point(request.x, request.y), request.k
+                ),
+            )
+        if isinstance(request, BatchRequest):
+            return self.batch.execute(
+                list(request.requests),
+                session=session,
+                order=request.order,
+                use_cache=request.use_cache,
+            )
+        if isinstance(request, Insert):
+            segment = Segment(request.x1, request.y1, request.x2, request.y2)
+            return self._apply_insert(segment, session)
+        if isinstance(request, Delete):
+            return self._apply_delete(request.seg_id, session)
+        if isinstance(request, Checkpoint):
+            return self._apply_checkpoint(session, None)
+        if isinstance(request, Stats):
+            return self.stats()
+        if isinstance(request, Check):
+            return self.check()
+        if isinstance(request, Trace):
+            return {"tracing": TRACER.stats(), "traces": TRACER.recent(request.n)}
+        if isinstance(request, Metrics):
+            self.sync_mirrored_counters()
+            if request.format == "prom":
+                return self.registry.render_prom()
+            return self.registry.render_json()
+        raise ProtocolError(
+            f"unknown request type {type(request).__name__}", code="unknown_op"
+        )
 
     # ------------------------------------------------------------------
     # Attribution
@@ -144,18 +340,29 @@ class QueryEngine:
             session = self.session("default")
         session.queries += 1
         if use_cache:
+            # The cache keeps its own hit/miss tally under the lock it
+            # takes anyway; the registry mirrors are synced at export.
             hit, value = self.cache.lookup(key)
             if hit:
                 session.cache_hits += 1
+                if TRACER.enabled:
+                    TRACER.event("cache_hit")
                 return value
-        with self._attributed(session):
-            value = thunk()
+            if TRACER.enabled:
+                TRACER.event("cache_miss")
+        if TRACER.enabled:
+            with TRACER.span("traverse"):
+                with self._attributed(session):
+                    value = thunk()
+        else:
+            with self._attributed(session):
+                value = thunk()
         if use_cache:
             self.cache.store(key, value)
         return value
 
     # ------------------------------------------------------------------
-    # Read queries
+    # Read queries (thin wrappers over execute)
     # ------------------------------------------------------------------
     def point(
         self,
@@ -165,11 +372,7 @@ class QueryEngine:
         use_cache: bool = True,
     ) -> List[int]:
         """Query 1: ids of segments with an endpoint at ``(x, y)``."""
-        x, y = float(x), float(y)
-        key = ("point", x, y)
-        return self._run(
-            key, session, use_cache, lambda: segments_at_point(self.index, Point(x, y))
-        )
+        return self.execute(PointQuery(x, y, use_cache=use_cache), session=session)
 
     def window(
         self,
@@ -182,12 +385,9 @@ class QueryEngine:
         use_cache: bool = True,
     ) -> List[int]:
         """Query 5: ids of segments meeting the (canonicalized) window."""
-        lo_x, hi_x = sorted((float(x1), float(x2)))
-        lo_y, hi_y = sorted((float(y1), float(y2)))
-        key = ("window", lo_x, lo_y, hi_x, hi_y, mode)
-        rect = Rect(lo_x, lo_y, hi_x, hi_y)
-        return self._run(
-            key, session, use_cache, lambda: window_query(self.index, rect, mode=mode)
+        return self.execute(
+            WindowQuery(x1, y1, x2, y2, mode=mode, use_cache=use_cache),
+            session=session,
         )
 
     def nearest(
@@ -199,15 +399,8 @@ class QueryEngine:
         use_cache: bool = True,
     ) -> List[Tuple[int, float]]:
         """Query 3 (k-nearest): ``(seg_id, dist^2)`` pairs, nearest first."""
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        x, y = float(x), float(y)
-        key = ("nearest", x, y, k)
-        return self._run(
-            key,
-            session,
-            use_cache,
-            lambda: nearest_k_segments(self.index, Point(x, y), k),
+        return self.execute(
+            NearestQuery(x, y, k=k, use_cache=use_cache), session=session
         )
 
     # ------------------------------------------------------------------
@@ -222,20 +415,35 @@ class QueryEngine:
         is the apply order) and group-commits after the latch drops --
         the mutation is durable before this method returns.
         """
+        return self.execute(
+            Insert(segment.x1, segment.y1, segment.x2, segment.y2),
+            session=session,
+        )
+
+    def _apply_insert(
+        self, segment: Segment, session: Optional[QuerySession]
+    ) -> int:
         if session is None:
             session = self.session("maintenance")
-        with self._attributed(session):
-            seg_id = self.ctx.segments.append(segment)
-            if self.store is not None:
-                self.store.log_insert(seg_id, segment)
-            self.index.insert(seg_id)
+        with TRACER.span("apply"):
+            with self._attributed(session):
+                seg_id = self.ctx.segments.append(segment)
+                if self.store is not None:
+                    self.store.log_insert(seg_id, segment)
+                self.index.insert(seg_id)
         if self.store is not None:
-            self.store.commit()
+            with TRACER.span("commit"):
+                self.store.commit()
         self.cache.invalidate_all()
         return seg_id
 
     def insert(self, seg_id: int, session: Optional[QuerySession] = None) -> None:
-        """Index an already-stored segment, invalidating the cache."""
+        """Index an already-stored segment, invalidating the cache.
+
+        Not a wire-protocol op: re-indexing an existing id is not
+        representable in the WAL, so it stays a direct (local-only)
+        maintenance method.
+        """
         if self.store is not None:
             raise RuntimeError(
                 "re-indexing an existing segment id is not representable "
@@ -255,21 +463,28 @@ class QueryEngine:
         (a double delete) logs the record first and then fails the
         apply -- replay treats such a record as the same no-op.
         """
-        seg_id = int(seg_id)
+        self.execute(Delete(int(seg_id)), session=session)
+
+    def _apply_delete(
+        self, seg_id: int, session: Optional[QuerySession]
+    ) -> bool:
         if session is None:
             session = self.session("maintenance")
-        with self._attributed(session):
-            if not 0 <= seg_id < len(self.ctx.segments):
-                raise KeyError(
-                    f"unknown segment id {seg_id}: the table holds "
-                    f"0..{len(self.ctx.segments) - 1}"
-                )
-            if self.store is not None:
-                self.store.log_delete(seg_id)
-            self.index.delete(seg_id)
+        with TRACER.span("apply"):
+            with self._attributed(session):
+                if not 0 <= seg_id < len(self.ctx.segments):
+                    raise KeyError(
+                        f"unknown segment id {seg_id}: the table holds "
+                        f"0..{len(self.ctx.segments) - 1}"
+                    )
+                if self.store is not None:
+                    self.store.log_delete(seg_id)
+                self.index.delete(seg_id)
         if self.store is not None:
-            self.store.commit()
+            with TRACER.span("commit"):
+                self.store.commit()
         self.cache.invalidate_all()
+        return True
 
     def checkpoint(self, session: Optional[QuerySession] = None, _crash_point=None):
         """Fold the WAL into a fresh snapshot (``{"op": "checkpoint"}``).
@@ -278,10 +493,19 @@ class QueryEngine:
         transaction-consistent with the checkpoint LSN; the page writes
         the pool flush performs are attributed to ``session`` (default:
         a dedicated "checkpoint" session), keeping
-        :meth:`counters_consistent` exact.
+        :meth:`counters_consistent` exact. Crash-injection runs
+        (``_crash_point``) bypass ``execute`` -- they abort mid-protocol
+        and must not leave half-open traces behind.
         """
+        if _crash_point is not None:
+            return self._apply_checkpoint(session, _crash_point)
+        return self.execute(Checkpoint(), session=session)
+
+    def _apply_checkpoint(
+        self, session: Optional[QuerySession], _crash_point
+    ):
         if self.store is None:
-            raise RuntimeError("engine is not durable: serve with --wal")
+            raise NotDurableError("engine is not durable: serve with --wal")
         if session is None:
             session = self.session("checkpoint")
         with self._attributed(session):
@@ -312,8 +536,19 @@ class QueryEngine:
             "findings": [f.to_dict() for f in findings],
         }
 
+    def sync_mirrored_counters(self) -> None:
+        """Copy the result cache's own hit/miss tally into the registry.
+
+        The cache counts lookups under the lock it already holds, so the
+        request path pays nothing extra; exports call this to bring the
+        ``repro_cache_events_total`` mirrors up to date.
+        """
+        self._cache_hit_counter.advance_to(self.cache.hits)
+        self._cache_miss_counter.advance_to(self.cache.misses)
+
     def stats(self) -> dict:
         """A full observability snapshot for the server's stats op."""
+        self.sync_mirrored_counters()
         with self.latch:
             pool = self.ctx.pool
             disk = self.ctx.disk
@@ -348,6 +583,10 @@ class QueryEngine:
                 "sessions": [s.stats() for s in self.sessions()],
                 "counters_consistent": self.counters_consistent(),
                 "durable": self.store is not None,
+                "obs": {
+                    "tracing": TRACER.stats(),
+                    "slow_queries": self.slow_log.stats(),
+                },
             }
             if self.store is not None:
                 wal_stats = self.store.stats()

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.trace import TRACER
 from repro.service.batch import BatchExecutor, Request
 from repro.service.engine import QueryEngine
 from repro.service.server import MapServer
@@ -51,6 +52,7 @@ class BenchReport:
     totals: Dict[str, int]
     counters_consistent: bool
     batch_comparison: Dict[str, int] = field(default_factory=dict)
+    obs: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def batch_improvement(self) -> float:
@@ -122,7 +124,7 @@ def _client(
         with sock.makefile("rwb") as fh:
             for request in requests:
                 start = time.perf_counter()
-                fh.write(json.dumps(request).encode("utf-8") + b"\n")
+                fh.write(json.dumps(request, separators=(",", ":")).encode("utf-8") + b"\n")
                 fh.flush()
                 line = fh.readline()
                 latencies.append(time.perf_counter() - start)
@@ -141,8 +143,16 @@ def bench_serve(
     cache_capacity: int = 256,
     batch_queries: int = 120,
     seed: int = 0,
+    trace: bool = False,
+    slow_ms: Optional[float] = None,
 ) -> BenchReport:
-    """Run the full closed-loop benchmark; see the module docstring."""
+    """Run the full closed-loop benchmark; see the module docstring.
+
+    With ``trace=True`` the process tracer is enabled for the run (and
+    restored afterwards), so the report's ``obs`` section shows how many
+    traces the workload produced; ``slow_ms`` arms the engine's
+    slow-query log at that threshold.
+    """
     import threading as _threading
 
     if threads < 1:
@@ -158,9 +168,12 @@ def bench_serve(
         index = built.index
         source = f"built:{county}@{scale}"
 
-    engine = QueryEngine(index, cache_capacity=cache_capacity)
+    engine = QueryEngine(index, cache_capacity=cache_capacity, slow_ms=slow_ms)
     server = MapServer(engine)
     server.start_background()
+    was_tracing = TRACER.enabled
+    if trace:
+        TRACER.enable()
     try:
         rng = random.Random(seed)
         workload = _workload(index, requests, rng)
@@ -215,8 +228,14 @@ def bench_serve(
                 order: result.disk_accesses
                 for order, result in comparison.items()
             },
+            obs={
+                "tracing": TRACER.stats(),
+                "slow_queries": engine.slow_log.stats(),
+            },
         )
     finally:
+        if trace and not was_tracing:
+            TRACER.disable()
         server.shutdown()
         server.server_close()
     return report
@@ -250,5 +269,13 @@ def format_bench_report(report: BenchReport) -> str:
         lines.append(
             f"  batch order     arrival={arrival} vs morton={morton} disk "
             f"accesses ({report.batch_improvement:.0%} fewer via Morton sort)"
+        )
+    tracing = report.obs.get("tracing", {})
+    if tracing.get("enabled"):
+        slow = report.obs.get("slow_queries", {})
+        lines.append(
+            f"  tracing         {tracing['finished']} traces captured "
+            f"({tracing['buffered']} buffered, "
+            f"{slow.get('recorded', 0)} slow queries)"
         )
     return "\n".join(lines)

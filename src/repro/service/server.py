@@ -5,7 +5,8 @@ response per line, over a plain TCP connection. Each connection gets its
 own :class:`~repro.service.engine.QuerySession`, so the stats endpoint
 attributes disk accesses and comparisons per client.
 
-Requests (``op`` selects the operation)::
+Requests (``op`` selects the operation; the full op table, argument
+shapes, and error codes are in ``docs/architecture.md``)::
 
     {"op": "ping"}
     {"op": "point", "x": 120, "y": 460}
@@ -18,14 +19,24 @@ Requests (``op`` selects the operation)::
     {"op": "checkpoint"}
     {"op": "stats"}
     {"op": "check"}
+    {"op": "trace", "n": 5}
+    {"op": "metrics", "format": "prom"}
 
-Responses are ``{"ok": true, "result": ...}`` or
-``{"ok": false, "error": "..."}``. Malformed lines, missing or
-non-numeric mutation arguments, and unknown segment ids all produce an
+A request may pin the protocol version with ``"v": 1``; the server
+echoes ``"v"`` back on that reply (a version mismatch is a ``bad_args``
+error whose message names the version this server speaks).
+Responses are ``{"ok": true, "result": ...}`` or::
+
+    {"ok": false, "error": {"code": "...", "message": "...", "type": "..."}}
+
+with ``code`` one of :data:`repro.errors.ERROR_CODES` (``unknown_op``,
+``bad_args``, ``unknown_seg``, ``not_durable``, ``internal``) and
+``type`` the Python exception class, for debugging. Malformed lines,
+missing or mis-typed arguments, and unknown segment ids all produce an
 error *response* -- never a dropped connection -- so one bad request in
 a client's stream cannot kill the requests behind it. ``checkpoint``
 requires the engine to be durable (``serve --wal``); on a non-durable
-server it is a structured error like any other.
+server it is a ``not_durable`` error like any other.
 """
 
 from __future__ import annotations
@@ -37,51 +48,54 @@ import socketserver
 import threading
 from typing import Any, Dict, Optional, Tuple
 
-from repro.geometry import Segment
-from repro.service.batch import BatchExecutor
+from repro.errors import ProtocolError
+from repro.service.api import parse_request, request_version
 from repro.service.engine import QueryEngine
 
 
-def _number(request: Dict[str, Any], key: str) -> float:
-    """Fetch a required numeric field, failing with a structured message."""
-    if key not in request:
-        raise ValueError(f"missing required field {key!r}")
-    value = request[key]
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ValueError(
-            f"field {key!r} must be a number, got {type(value).__name__}"
-        )
-    return value
+def error_envelope(exc: BaseException) -> Dict[str, str]:
+    """Map an exception to the wire error object -- the ONE place the
+    exception-class -> error-code policy lives.
+
+    * :class:`ProtocolError` carries its own code (``unknown_op``,
+      ``bad_args``, ``not_durable``, ...).
+    * ``KeyError`` is how the engine reports an unknown segment id.
+    * Other ``ValueError``/``TypeError`` are argument problems.
+    * Anything else is ``internal`` -- a bug, surfaced but contained.
+    """
+    if isinstance(exc, ProtocolError):
+        code = exc.code
+        message = str(exc)
+    elif isinstance(exc, KeyError):
+        code = "unknown_seg"
+        message = str(exc.args[0]) if exc.args else str(exc)
+    elif isinstance(exc, (ValueError, TypeError)):
+        code = "bad_args"
+        message = str(exc)
+    else:
+        code = "internal"
+        message = str(exc)
+    return {"code": code, "message": message, "type": type(exc).__name__}
 
 
-def _seg_id(request: Dict[str, Any]) -> int:
-    if "seg_id" not in request:
-        raise ValueError("missing required field 'seg_id'")
-    value = request["seg_id"]
-    if isinstance(value, bool) or not isinstance(value, int):
-        raise ValueError(
-            f"field 'seg_id' must be an integer, got {type(value).__name__}"
-        )
-    return value
+#: Compact separators: responses carry segment lists, so the default
+#: ``", "``/``": "`` padding costs real encode time and wire bytes.
+_COMPACT = (",", ":")
 
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         server: "MapServer" = self.server  # type: ignore[assignment]
         session = server.engine.session(f"conn-{next(server.connection_ids)}")
+        respond, dumps = server.respond, json.dumps
+        write, flush = self.wfile.write, self.wfile.flush
         for raw in self.rfile:
             line = raw.strip()
             if not line:
                 continue
-            try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-                response = {"ok": True, "result": server.dispatch(request, session)}
-            except Exception as exc:  # serve errors back, keep the connection
-                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
-            self.wfile.flush()
+            response = respond(line, session)
+            write(dumps(response, separators=_COMPACT).encode("utf-8") + b"\n")
+            flush()
 
 
 class MapServer(socketserver.ThreadingTCPServer):
@@ -99,7 +113,7 @@ class MapServer(socketserver.ThreadingTCPServer):
     ) -> None:
         super().__init__((host, port), _Handler)
         self.engine = engine
-        self.batch = BatchExecutor(engine)
+        self.batch = engine.batch
         self.connection_ids = itertools.count(1)
 
     @property
@@ -118,59 +132,45 @@ class MapServer(socketserver.ThreadingTCPServer):
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
+    def respond(self, line: Any, session) -> Dict[str, Any]:
+        """One wire request -> one envelope; never raises."""
+        version: Optional[int] = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ProtocolError(
+                    f"request must be a JSON object, got "
+                    f"{type(request).__name__}"
+                )
+            if request.get("v") is not None:
+                version = request_version(request)
+            response: Dict[str, Any] = {
+                "ok": True,
+                "result": self.dispatch(request, session),
+            }
+        except Exception as exc:  # serve errors back, keep the connection
+            response = {"ok": False, "error": error_envelope(exc)}
+        if version is not None:
+            response["v"] = version
+        return response
+
     def dispatch(self, request: Dict[str, Any], session) -> Any:
         op = request.get("op")
-        engine = self.engine
         if op == "ping":
             return "pong"
-        if op == "point":
-            return engine.point(request["x"], request["y"], session=session)
-        if op == "window":
-            return engine.window(
-                request["x1"],
-                request["y1"],
-                request["x2"],
-                request["y2"],
-                mode=request.get("mode", "intersects"),
-                session=session,
-            )
-        if op == "nearest":
-            return engine.nearest(
-                request["x"],
-                request["y"],
-                k=int(request.get("k", 1)),
-                session=session,
-            )
+        result = self.engine.execute(parse_request(request), session=session)
         if op == "batch":
-            result = self.batch.execute(
-                request["requests"],
-                session=session,
-                order=request.get("order", "morton"),
-                use_cache=bool(request.get("use_cache", True)),
-            )
             return {
                 "results": result.results,
                 "order": result.order,
                 "disk_accesses": result.disk_accesses,
             }
-        if op == "insert":
-            segment = Segment(
-                _number(request, "x1"),
-                _number(request, "y1"),
-                _number(request, "x2"),
-                _number(request, "y2"),
-            )
-            return engine.insert_segment(segment, session=session)
-        if op == "delete":
-            engine.delete(_seg_id(request), session=session)
-            return True
-        if op == "checkpoint":
-            return engine.checkpoint(session=session)
-        if op == "stats":
-            return engine.stats()
-        if op == "check":
-            return engine.check()
-        raise ValueError(f"unknown op {op!r}")
+        return result
+
+    def metrics_text(self) -> str:
+        """The engine registry as Prometheus text exposition."""
+        self.engine.sync_mirrored_counters()
+        return self.engine.registry.render_prom()
 
 
 def send_request(

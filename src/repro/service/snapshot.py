@@ -26,12 +26,8 @@ from repro.core.pmr.blocks import PMRBlock
 from repro.core.rplus import RPlusTree
 from repro.core.rtree import GuttmanRTree, RStarTree
 from repro.geometry import Rect
-from repro.storage.codec import (
-    CodecError,
-    dump_database,
-    load_snapshot,
-    read_header,
-)
+from repro.errors import SnapshotError
+from repro.storage.codec import dump_database, load_snapshot, read_header
 from repro.storage.context import StorageContext
 from repro.storage.policies import ReplacementPolicy
 
@@ -74,7 +70,7 @@ def _block_from_json(node: Dict[str, Any]) -> PMRBlock:
 def _build_manifest(index) -> Dict[str, Any]:
     kind = _KINDS.get(type(index))
     if kind is None:
-        raise CodecError(
+        raise SnapshotError(
             f"no snapshot support for {type(index).__name__}; supported "
             f"kinds: {sorted(_KINDS.values())}"
         )
@@ -110,7 +106,7 @@ def _build_manifest(index) -> Dict[str, Any]:
         }
     else:  # PMR
         if index.store_bboxes:
-            raise CodecError(
+            raise SnapshotError(
                 "PMR snapshots require store_bboxes=False: the on-disk "
                 "B-tree codec stores (code, pointer) 2-tuples only"
             )
@@ -141,7 +137,8 @@ def save_index(
     Flushes the buffer pool, then writes every disk page plus a manifest
     recording the index kind, parameters, root page id, height, page
     inventory, and segment-table head. Returns the number of pages
-    written. Raises :class:`CodecError` for unsupported index types.
+    written. Raises :class:`~repro.errors.SnapshotError` (a ``CodecError``)
+    for unsupported index types.
 
     ``extra`` merges additional top-level keys into the manifest; the
     durability layer embeds ``{"wal": {"checkpoint_lsn": ...}}`` so a
@@ -151,7 +148,7 @@ def save_index(
     if extra:
         for key in extra:
             if key in manifest:
-                raise CodecError(f"extra manifest key {key!r} collides")
+                raise SnapshotError(f"extra manifest key {key!r} collides")
         manifest.update(extra)
     ctx = index.ctx
     ctx.pool.flush()
@@ -177,7 +174,7 @@ def _discard_bootstrap(ctx: StorageContext, page_id: int) -> None:
 def _check_pages(ctx: StorageContext, page_ids: List[int], what: str) -> None:
     for pid in page_ids:
         if not ctx.disk.is_allocated(pid):
-            raise CodecError(f"{what} page {pid} is missing from the snapshot")
+            raise SnapshotError(f"{what} page {pid} is missing from the snapshot")
 
 
 def open_index(
@@ -198,12 +195,12 @@ def open_index(
         with open(src, "rb") as fh:
             disk, manifest = load_snapshot(fh)
     if manifest is None:
-        raise CodecError(
+        raise SnapshotError(
             "snapshot has no index manifest (written by dump_database "
             "rather than save_index?)"
         )
     if manifest.get("version") != MANIFEST_VERSION:
-        raise CodecError(f"unsupported manifest version {manifest.get('version')!r}")
+        raise SnapshotError(f"unsupported manifest version {manifest.get('version')!r}")
     kind = manifest.get("kind")
     seg = manifest["segments"]
     ctx = StorageContext.from_disk(
@@ -258,7 +255,7 @@ def open_index(
         index.root = _block_from_json(manifest["blocks"])
         index._seg_count = state["seg_count"]
     else:
-        raise CodecError(f"unknown index kind {kind!r} in manifest")
+        raise SnapshotError(f"unknown index kind {kind!r} in manifest")
     return index
 
 
@@ -270,5 +267,5 @@ def snapshot_info(src: Union[str, os.PathLike, BinaryIO]) -> Dict[str, Any]:
         with open(src, "rb") as fh:
             manifest = read_header(fh).get("manifest")
     if manifest is None:
-        raise CodecError("snapshot has no index manifest")
+        raise SnapshotError("snapshot has no index manifest")
     return manifest

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.obs.trace import TRACER
 from repro.storage.counters import MetricsCounters
 from repro.storage.disk import DiskManager
 from repro.storage.policies import LRUPolicy, ReplacementPolicy
@@ -52,9 +53,13 @@ class BufferPool:
         if frame is not None:
             self.counters.buffer_hits += 1
             self._policy.record_access(page_id)
+            if TRACER.enabled:
+                TRACER.event("page_fetch", page=page_id, outcome="hit")
             return frame.payload
 
         self.counters.disk_reads += 1
+        if TRACER.enabled:
+            TRACER.event("page_fetch", page=page_id, outcome="miss")
         payload = self.disk.read(page_id)
         self._admit(page_id, payload, dirty=False)
         return payload
@@ -141,5 +146,7 @@ class BufferPool:
             if victim_frame.dirty:
                 self.disk.write(victim, victim_frame.payload)
                 self.counters.disk_writes += 1
+                if TRACER.enabled:
+                    TRACER.event("page_write", page=victim, cause="evict")
         self._frames[page_id] = _Frame(payload, dirty)
         self._policy.record_access(page_id)

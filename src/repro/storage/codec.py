@@ -41,8 +41,9 @@ _SEG_HEADER = struct.Struct("<I")
 _SEG_ENTRY = struct.Struct("<4f")  # 16 bytes per segment
 
 
-class CodecError(ValueError):
-    """Raised when a payload cannot be (de)serialized."""
+# Historically defined here; now part of the consolidated hierarchy in
+# repro.errors (still a ValueError, so existing handlers keep working).
+from repro.errors import CodecError  # noqa: E402  (re-export)
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.geometry import Segment
+from repro.obs.trace import TRACER
 from repro.wal.records import (
     FRAME,
     MAX_PAYLOAD,
@@ -215,6 +216,8 @@ class WriteAheadLog:
         self.last_lsn = record.lsn
         self.log_appends += 1
         self._pending += 1
+        if TRACER.enabled:
+            TRACER.event("wal_append", lsn=record.lsn)
         return record.lsn
 
     def log_insert(self, seg_id: int, segment: Segment) -> int:
@@ -249,8 +252,9 @@ class WriteAheadLog:
                 self._sync_locked()
 
     def _sync_locked(self) -> None:
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        with TRACER.span("wal_fsync", pending=self._pending):
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
         self.fsyncs += 1
         self._pending = 0
 

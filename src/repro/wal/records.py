@@ -44,8 +44,9 @@ _DELETE = struct.Struct("<BQi")
 MAX_PAYLOAD = 1 << 16
 
 
-class WalError(ValueError):
-    """Raised when the log (or checkpoint manifest) cannot be trusted."""
+# Historically defined here; now part of the consolidated hierarchy in
+# repro.errors (still a ValueError, so existing handlers keep working).
+from repro.errors import WalError  # noqa: E402  (re-export)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,263 @@
+"""The observability layer: tracer, histograms, registry, prom round-trip."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    LatencyHistogram,
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+    parse_prom_text,
+)
+from repro.obs.metrics import BUCKET_BOUNDS
+
+
+class TestTracer:
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer()
+        assert tracer.start_trace("point") is None
+        with tracer.span("traverse") as span:
+            span.set_error("ignored")
+        tracer.event("page_fetch", page=1)
+        assert tracer.recent() == []
+        assert tracer.stats()["started"] == 0
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        assert tracer.span("a") is tracer.span("b")  # no allocation
+
+    def test_span_tree_shape(self):
+        tracer = Tracer()
+        tracer.enable()
+        root = tracer.start_trace("window", x1=0.0)
+        with tracer.span("traverse"):
+            tracer.event("page_fetch", page=3, outcome="miss")
+            tracer.event("segment_read", seg_id=7)
+        tracer.finish_trace(root)
+        (trace,) = tracer.recent()
+        assert trace["name"] == "window"
+        assert trace["attrs"] == {"x1": 0.0}
+        assert trace["dur_us"] >= 0.0
+        (traverse,) = trace["spans"]
+        assert traverse["name"] == "traverse"
+        assert [s["name"] for s in traverse["spans"]] == [
+            "page_fetch",
+            "segment_read",
+        ]
+        assert traverse["spans"][0]["attrs"] == {"page": 3, "outcome": "miss"}
+        assert trace["events"] == 3
+        assert trace["dropped"] == 0
+
+    def test_max_events_caps_a_trace(self):
+        tracer = Tracer(max_events=4)
+        tracer.enable()
+        root = tracer.start_trace("window")
+        for i in range(10):
+            tracer.event("page_fetch", page=i)
+        tracer.finish_trace(root)
+        (trace,) = tracer.recent()
+        assert len(trace["spans"]) == 4
+        assert trace["events"] == 10
+        assert trace["dropped"] == 6
+
+    def test_ring_buffer_bounds_finished_traces(self):
+        tracer = Tracer(capacity=3)
+        tracer.enable()
+        for i in range(7):
+            root = tracer.start_trace(f"op{i}")
+            tracer.finish_trace(root)
+        names = [t["name"] for t in tracer.recent()]
+        assert names == ["op4", "op5", "op6"]
+        assert tracer.stats()["finished"] == 7
+
+    def test_error_recorded_on_root(self):
+        tracer = Tracer()
+        tracer.enable()
+        root = tracer.start_trace("delete")
+        tracer.finish_trace(root, error="KeyError: unknown segment id 9")
+        (trace,) = tracer.recent()
+        assert "unknown segment id" in trace["error"]
+
+    def test_active_tracks_thread_local_stack(self):
+        tracer = Tracer()
+        tracer.enable()
+        assert not tracer.active()
+        root = tracer.start_trace("batch")
+        assert tracer.active()
+        seen_in_thread = []
+        t = threading.Thread(target=lambda: seen_in_thread.append(tracer.active()))
+        t.start()
+        t.join()
+        assert seen_in_thread == [False]  # another thread has its own stack
+        tracer.finish_trace(root)
+        assert not tracer.active()
+
+    def test_threads_build_separate_trees(self):
+        tracer = Tracer(capacity=64)
+        tracer.enable()
+
+        def worker(tag):
+            for _ in range(10):
+                root = tracer.start_trace(tag)
+                with tracer.span("traverse"):
+                    tracer.event("page_fetch")
+                tracer.finish_trace(root)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        traces = tracer.recent()
+        assert len(traces) == 40
+        # Every trace has exactly the structure its own thread built.
+        for trace in traces:
+            assert [s["name"] for s in trace["spans"]] == ["traverse"]
+            assert trace["events"] == 2
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+
+class TestLatencyHistogram:
+    def test_bucket_index_is_log2_of_micros(self):
+        h = LatencyHistogram("h")
+        assert h._bucket_index(0.0) == 0
+        assert h._bucket_index(1e-6) == 0
+        assert h._bucket_index(1.5e-6) == 1
+        assert h._bucket_index(3e-6) == 2
+        assert h._bucket_index(BUCKET_BOUNDS[-1]) == len(BUCKET_BOUNDS) - 1
+        assert h._bucket_index(1e9) == len(BUCKET_BOUNDS)  # overflow slot
+
+    def test_observe_accumulates(self):
+        h = LatencyHistogram("h")
+        for v in (1e-6, 2e-6, 1e-3, 2.0):
+            h.observe(v)
+        counts, total, total_sum = h.raw()
+        assert total == 4
+        assert sum(counts) == 4
+        assert total_sum == pytest.approx(1e-6 + 2e-6 + 1e-3 + 2.0)
+
+    def test_percentile_returns_bucket_bound(self):
+        h = LatencyHistogram("h")
+        for _ in range(99):
+            h.observe(3e-6)  # falls in the (2us, 4us] bucket
+        h.observe(1.0)
+        assert h.percentile(0.5) == 4e-6
+        assert h.percentile(1.0) >= 1.0
+        assert h.percentile(0.0) == 4e-6  # rank clamps to the first sample
+
+    def test_empty_percentile(self):
+        assert LatencyHistogram("h").percentile(0.5) == 0.0
+
+
+class TestSlowQueryLog:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.record("point", 100.0, {}) is False
+        assert log.entries() == []
+
+    def test_threshold_and_capacity(self):
+        log = SlowQueryLog(threshold_ms=1.0, capacity=2)
+        assert log.record("point", 0.0005, {}) is False  # 0.5ms: under
+        for i in range(3):
+            assert log.record("window", 0.002, {"i": i}) is True
+        entries = log.entries()
+        assert len(entries) == 2  # bounded
+        assert entries[-1]["attrs"] == {"i": 2}
+        assert log.stats()["recorded"] == 3
+
+
+class TestRegistryAndProm:
+    def test_counter_and_histogram_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_queries_total", op="point", status="ok")
+        b = reg.counter("repro_queries_total", status="ok", op="point")
+        assert a is b  # label order does not matter
+        assert reg.histogram("repro_op_latency_seconds", op="point") is (
+            reg.histogram("repro_op_latency_seconds", op="point")
+        )
+
+    def test_render_json(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_traces_total").inc(3)
+        reg.histogram("repro_op_latency_seconds", op="point").observe(1e-4)
+        out = reg.render_json()
+        assert out["counters"][0]["value"] == 3
+        assert out["histograms"][0]["count"] == 1
+
+    def test_prom_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_queries_total", op="point", status="ok").inc(5)
+        reg.counter("repro_queries_total", op="window", status="ok").inc(2)
+        hist = reg.histogram("repro_op_latency_seconds", op="point")
+        for v in (1e-6, 5e-5, 2e-3, 0.5):
+            hist.observe(v)
+        text = reg.render_prom()
+        families = parse_prom_text(text)  # raises if malformed
+        counters = families["repro_queries_total"]
+        assert counters["type"] == "counter"
+        values = {
+            tuple(sorted(labels.items())): value
+            for _, labels, value in counters["samples"]
+        }
+        assert values[(("op", "point"), ("status", "ok"))] == 5
+        lat = families["repro_op_latency_seconds"]
+        assert lat["type"] == "histogram"
+        count_samples = [
+            v for n, _, v in lat["samples"] if n.endswith("_count")
+        ]
+        assert count_samples == [4]
+
+    def test_parser_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_prom_text("repro_mystery_total 5\n")  # no TYPE header
+        with pytest.raises(ValueError):
+            parse_prom_text(
+                "# TYPE x counter\nx{le= 5\n"
+            )
+        # Non-cumulative histogram buckets are rejected.
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.001"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_prom_text(bad)
+        # +Inf bucket disagreeing with _count is rejected.
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_prom_text(bad)
+
+    def test_concurrent_observation(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("repro_op_latency_seconds", op="point")
+        counter = reg.counter("repro_queries_total", op="point", status="ok")
+
+        def worker():
+            for _ in range(500):
+                hist.observe(1e-5)
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counts, total, _ = hist.raw()
+        assert total == 4000
+        assert sum(counts) == 4000
+        assert counter.value == 4000

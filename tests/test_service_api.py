@@ -1,0 +1,328 @@
+"""Golden wire-protocol tests: every op, success and error envelope,
+typed-request parsing, and trace/metrics observability under load."""
+
+import threading
+
+import pytest
+
+from repro.errors import NotDurableError, ProtocolError
+from repro.obs import TRACER, MetricsRegistry
+from repro.service import MapServer, QueryEngine, send_request
+from repro.service.api import (
+    PROTOCOL_VERSION,
+    NearestQuery,
+    PointQuery,
+    WindowQuery,
+    parse_batch_item,
+    parse_request,
+)
+
+from tests.conftest import build_index, lattice_map
+
+
+@pytest.fixture()
+def engine():
+    eng = QueryEngine(
+        build_index("R*", lattice_map(n=8)), registry=MetricsRegistry()
+    )
+    yield eng
+
+
+@pytest.fixture()
+def server(engine):
+    srv = MapServer(engine)
+    srv.start_background()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+class TestTypedRequests:
+    def test_point_cache_key_matches_legacy(self):
+        assert PointQuery(1, 2).cache_key() == ("point", 1.0, 2.0)
+
+    def test_window_canonicalizes_corners(self):
+        q = WindowQuery(10, 20, 0, 5)
+        assert (q.x1, q.y1, q.x2, q.y2) == (0.0, 5.0, 10.0, 20.0)
+        assert q.cache_key() == ("window", 0.0, 5.0, 10.0, 20.0, "intersects")
+        # The same window given either way round shares one cache entry.
+        assert WindowQuery(0, 5, 10, 20).cache_key() == q.cache_key()
+
+    def test_nearest_cache_key(self):
+        assert NearestQuery(3, 4, k=2).cache_key() == ("nearest", 3.0, 4.0, 2)
+
+    def test_validation_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            PointQuery("a", 0)
+        with pytest.raises(ProtocolError):
+            WindowQuery(0, 0, 1, 1, mode="overlaps")
+        with pytest.raises(ProtocolError):
+            NearestQuery(0, 0, k=0)
+        with pytest.raises(ProtocolError):
+            NearestQuery(0, 0, k=True)
+
+    def test_parse_request_every_op(self):
+        cases = [
+            ({"op": "point", "x": 1, "y": 2}, "point"),
+            ({"op": "window", "x1": 0, "y1": 0, "x2": 9, "y2": 9}, "window"),
+            ({"op": "nearest", "x": 1, "y": 2, "k": 3}, "nearest"),
+            ({"op": "batch", "requests": []}, "batch"),
+            ({"op": "insert", "x1": 0, "y1": 0, "x2": 1, "y2": 1}, "insert"),
+            ({"op": "delete", "seg_id": 4}, "delete"),
+            ({"op": "checkpoint"}, "checkpoint"),
+            ({"op": "stats"}, "stats"),
+            ({"op": "check"}, "check"),
+            ({"op": "trace", "n": 2}, "trace"),
+            ({"op": "metrics", "format": "prom"}, "metrics"),
+        ]
+        for raw, op in cases:
+            assert type(parse_request(raw)).OP == op
+
+    def test_parse_request_unknown_op_code(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            parse_request({"op": "bogus"})
+        assert exc_info.value.code == "unknown_op"
+
+    def test_parse_batch_item_restricts_ops(self):
+        with pytest.raises(ProtocolError, match="batch cannot execute"):
+            parse_batch_item({"op": "stats"})
+        item = parse_batch_item({"op": "point", "x": 1, "y": 2}, use_cache=False)
+        assert item.use_cache is False
+
+    def test_execute_rejects_untyped_values(self, engine):
+        with pytest.raises(ProtocolError, match="not a typed request"):
+            engine.execute({"op": "point", "x": 1, "y": 2})
+
+
+class TestGoldenProtocol:
+    """One success and (where reachable) one failure per wire op."""
+
+    def test_every_op_succeeds(self, server):
+        addr = server.address
+        ok_cases = [
+            {"op": "ping"},
+            {"op": "point", "x": 100, "y": 100},
+            {"op": "window", "x1": 0, "y1": 0, "x2": 300, "y2": 300},
+            {"op": "nearest", "x": 250, "y": 250, "k": 2},
+            {
+                "op": "batch",
+                "requests": [
+                    {"op": "point", "x": 100, "y": 100},
+                    {"op": "window", "x1": 0, "y1": 0, "x2": 150, "y2": 150},
+                ],
+            },
+            {"op": "insert", "x1": 3, "y1": 3, "x2": 8, "y2": 8},
+            {"op": "delete", "seg_id": 0},
+            {"op": "stats"},
+            {"op": "check"},
+            {"op": "trace"},
+            {"op": "metrics"},
+            {"op": "metrics", "format": "prom"},
+        ]
+        for request in ok_cases:
+            response = send_request(addr, request)
+            assert response["ok"] is True, (request, response)
+            assert "result" in response
+
+    def test_error_envelopes(self, server):
+        addr = server.address
+        error_cases = [
+            ({"op": "bogus"}, "unknown_op"),
+            ({"op": "point", "x": 1}, "bad_args"),
+            ({"op": "point", "x": "a", "y": 2}, "bad_args"),
+            ({"op": "window", "x1": 0, "y1": 0, "x2": 1, "y2": 1,
+              "mode": "overlaps"}, "bad_args"),
+            ({"op": "nearest", "x": 1, "y": 2, "k": 0}, "bad_args"),
+            ({"op": "batch", "requests": [{"op": "stats"}]}, "bad_args"),
+            ({"op": "batch", "requests": "nope"}, "bad_args"),
+            ({"op": "insert", "x1": 0, "y1": 0, "x2": 1}, "bad_args"),
+            ({"op": "delete", "seg_id": 10**9}, "unknown_seg"),
+            ({"op": "delete", "seg_id": "x"}, "bad_args"),
+            ({"op": "checkpoint"}, "not_durable"),
+            ({"op": "trace", "n": 0}, "bad_args"),
+            ({"op": "metrics", "format": "xml"}, "bad_args"),
+            ({"op": "ping", "v": 99}, "bad_args"),
+        ]
+        for request, code in error_cases:
+            response = send_request(addr, request)
+            assert response["ok"] is False, (request, response)
+            error = response["error"]
+            assert error["code"] == code, (request, error)
+            assert error["message"]
+            assert error["type"]
+
+    def test_version_echo(self, server):
+        addr = server.address
+        response = send_request(addr, {"op": "ping", "v": PROTOCOL_VERSION})
+        assert response == {"ok": True, "result": "pong", "v": PROTOCOL_VERSION}
+        # Unpinned requests get no version key, as before this protocol rev.
+        assert "v" not in send_request(addr, {"op": "ping"})
+        # A pinned request that fails still echoes the accepted version.
+        response = send_request(addr, {"op": "bogus", "v": PROTOCOL_VERSION})
+        assert response["v"] == PROTOCOL_VERSION
+        assert response["error"]["code"] == "unknown_op"
+
+    def test_not_durable_is_runtime_and_protocol_error(self, engine):
+        # The compat contract: existing `except RuntimeError` call sites
+        # keep working, while the server maps the code in one place.
+        with pytest.raises(RuntimeError, match="durable"):
+            engine.checkpoint()
+        with pytest.raises(NotDurableError) as exc_info:
+            engine.checkpoint()
+        assert exc_info.value.code == "not_durable"
+
+
+@pytest.mark.parametrize("kind", ["R*", "R+", "PMR"])
+class TestTraceShapes:
+    def test_window_trace_spans(self, kind):
+        engine = QueryEngine(
+            build_index(kind, lattice_map(n=8)), registry=MetricsRegistry()
+        )
+        TRACER.enable()
+        try:
+            TRACER.clear()
+            engine.cold_start()
+            engine.window(0, 0, 300, 300, use_cache=False)
+            engine.window(0, 0, 300, 300)
+            traces = TRACER.recent()
+        finally:
+            TRACER.disable()
+        assert len(traces) == 2
+        trace = traces[0]
+        assert trace["name"] == "window"
+        assert trace["attrs"]["mode"] == "intersects"
+        (traverse,) = trace["spans"]
+        assert traverse["name"] == "traverse"
+        names = {s["name"] for s in traverse["spans"]}
+        # A cold traversal must fault pages and read the segment table.
+        assert "page_fetch" in names
+        assert "segment_read" in names
+        outcomes = {
+            s["attrs"]["outcome"]
+            for s in traverse["spans"]
+            if s["name"] == "page_fetch"
+        }
+        assert "miss" in outcomes
+
+    def test_cache_hit_event(self, kind):
+        engine = QueryEngine(
+            build_index(kind, lattice_map(n=6)), registry=MetricsRegistry()
+        )
+        TRACER.enable()
+        try:
+            TRACER.clear()
+            engine.point(100, 100)
+            engine.point(100, 100)
+            traces = TRACER.recent()
+        finally:
+            TRACER.disable()
+        first, second = traces[-2:]
+        flat_first = [s["name"] for s in first["spans"]]
+        flat_second = [s["name"] for s in second["spans"]]
+        assert "cache_miss" in flat_first
+        assert flat_second == ["cache_hit"]  # no traversal on a hit
+
+
+class TestObservedEngine:
+    def test_histogram_total_matches_query_total(self, engine):
+        engine.point(100, 100)
+        engine.window(0, 0, 200, 200)
+        engine.window(0, 0, 200, 200)
+        engine.nearest(300, 300, k=1)
+        reg = engine.registry
+        for op, expected in (("point", 1), ("window", 2), ("nearest", 1)):
+            hist = reg.histogram("repro_op_latency_seconds", op=op)
+            assert hist.raw()[1] == expected
+            counter = reg.counter("repro_queries_total", op=op, status="ok")
+            assert counter.value == expected
+
+    def test_errors_counted_with_status_label(self, engine):
+        with pytest.raises(KeyError):
+            engine.delete(10**9)
+        reg = engine.registry
+        assert reg.counter(
+            "repro_queries_total", op="delete", status="error"
+        ).value == 1
+        assert reg.histogram(
+            "repro_op_latency_seconds", op="delete"
+        ).raw()[1] == 1
+
+    def test_batch_members_become_child_spans(self, engine):
+        TRACER.enable()
+        try:
+            TRACER.clear()
+            engine.execute(
+                parse_request(
+                    {
+                        "op": "batch",
+                        "requests": [
+                            {"op": "point", "x": 100, "y": 100},
+                            {"op": "window", "x1": 0, "y1": 0,
+                             "x2": 150, "y2": 150},
+                        ],
+                    }
+                )
+            )
+            traces = TRACER.recent()
+        finally:
+            TRACER.disable()
+        batch_traces = [t for t in traces if t["name"] == "batch"]
+        assert len(batch_traces) == 1  # members nested, not separate traces
+        member_names = sorted(s["name"] for s in batch_traces[0]["spans"])
+        assert member_names == ["point", "window"]
+
+    def test_slow_query_log_via_engine(self):
+        engine = QueryEngine(
+            build_index("R*", lattice_map(n=6)),
+            registry=MetricsRegistry(),
+            slow_ms=0.0,  # everything is slow
+        )
+        engine.point(50, 50)
+        entries = engine.slow_log.entries()
+        assert entries and entries[0]["op"] == "point"
+        assert engine.registry.counter("repro_slow_queries_total").value >= 1
+        assert engine.stats()["obs"]["slow_queries"]["recorded"] >= 1
+
+    def test_concurrent_tracing_keeps_counters_consistent(self):
+        """K threads tracing concurrently: counters stay attributable and
+        the per-op histogram totals equal the queries issued."""
+        engine = QueryEngine(
+            build_index("R*", lattice_map(n=8)), registry=MetricsRegistry()
+        )
+        threads_n, per_thread = 4, 25
+        TRACER.enable()
+        errors = []
+
+        def worker(tag):
+            session = engine.session(f"worker-{tag}")
+            try:
+                for i in range(per_thread):
+                    engine.point(
+                        100 * (1 + (i + tag) % 8),
+                        100 * (1 + (i * 3 + tag) % 8),
+                        session=session,
+                        use_cache=False,
+                    )
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        try:
+            workers = [
+                threading.Thread(target=worker, args=(t,))
+                for t in range(threads_n)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+        finally:
+            TRACER.disable()
+        assert errors == []
+        assert engine.counters_consistent()
+        issued = threads_n * per_thread
+        hist = engine.registry.histogram("repro_op_latency_seconds", op="point")
+        assert hist.raw()[1] == issued
+        assert engine.registry.counter(
+            "repro_queries_total", op="point", status="ok"
+        ).value == issued
+        assert engine.registry.counter("repro_traces_total").value == issued

@@ -108,7 +108,8 @@ class TestProtocol:
                 fh.flush()
                 response = json.loads(fh.readline())
                 assert response["ok"] is False
-                assert "unknown segment id 999999" in response["error"]
+                assert response["error"]["code"] == "unknown_seg"
+                assert "unknown segment id 999999" in response["error"]["message"]
                 fh.write(b'{"op": "ping"}\n')  # connection survived
                 fh.flush()
                 assert json.loads(fh.readline())["result"] == "pong"
@@ -128,7 +129,8 @@ class TestProtocol:
                     fh.flush()
                     response = json.loads(fh.readline())
                     assert response["ok"] is False, request
-                    assert field in response["error"], request
+                    assert response["error"]["code"] == "bad_args", request
+                    assert field in response["error"]["message"], request
                 # One connection survived every bad mutation in sequence.
                 fh.write(b'{"op": "ping"}\n')
                 fh.flush()
@@ -137,7 +139,8 @@ class TestProtocol:
     def test_checkpoint_on_non_durable_server_is_error(self, server):
         response = send_request(server.address, {"op": "checkpoint"})
         assert response["ok"] is False
-        assert "durable" in response["error"]
+        assert response["error"]["code"] == "not_durable"
+        assert "durable" in response["error"]["message"]
 
     def test_one_session_per_connection(self, server):
         for _ in range(2):
