@@ -32,6 +32,11 @@ The observability layer (:mod:`repro.obs`) adds tracing and metrics::
     python -m repro stats --port 8765            # live server metrics
     python -m repro stats --format prom          # Prometheus exposition
     python -m repro bench-serve --trace          # traced load test
+    python -m repro explain window --x1 0 --y1 0 --x2 500 --y2 500
+                                                 # per-level query profile
+    python -m repro bench --json BENCH_run.json  # perf-baseline record
+    python -m repro bench --compare benchmarks/results/BENCH_baseline.json
+                                                 # regression gate (exit 1)
 
 The static-analysis layer adds two::
 
@@ -263,6 +268,112 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    """Per-level query profile: local build/snapshot or a live server."""
+    import json
+
+    from repro.obs import format_explain
+
+    if args.query_op == "point":
+        if args.x is None or args.y is None:
+            sys.exit("error: explain point requires --x and --y")
+        query = {"op": "point", "x": args.x, "y": args.y}
+    elif args.query_op == "window":
+        if None in (args.x1, args.y1, args.x2, args.y2):
+            sys.exit("error: explain window requires --x1 --y1 --x2 --y2")
+        query = {
+            "op": "window",
+            "x1": args.x1,
+            "y1": args.y1,
+            "x2": args.x2,
+            "y2": args.y2,
+            "mode": args.mode,
+        }
+    else:  # nearest
+        if args.x is None or args.y is None:
+            sys.exit("error: explain nearest requires --x and --y")
+        query = {"op": "nearest", "x": args.x, "y": args.y, "k": args.k}
+
+    if args.port is not None:
+        from repro.service import send_request
+
+        try:
+            response = send_request(
+                (args.host, args.port), {"op": "explain", "query": query, "v": 1}
+            )
+        except (ConnectionError, OSError) as exc:
+            print(
+                f"error: cannot reach server at {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        if not response.get("ok"):
+            error = response.get("error", {})
+            print(
+                f"error: server refused: {error.get('code')}: "
+                f"{error.get('message')}",
+                file=sys.stderr,
+            )
+            return 1
+        report = response["result"]
+    else:
+        from repro.service import QueryEngine
+        from repro.service.api import parse_request
+
+        index = _build_or_open(args)
+        engine = QueryEngine(index)
+        report = engine.execute(parse_request({"op": "explain", "query": query}))
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_explain(report))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Run the fixed benchmark workload; optionally gate on a baseline."""
+    import json
+
+    from repro.bench import run_bench, write_record
+    from repro.bench.compare import (
+        EXIT_INCOMPARABLE,
+        compare_records,
+        load_record,
+    )
+    from repro.metric_names import PAPER_METRICS
+
+    params = {
+        "county": args.county,
+        "scale": args.scale,
+        "n_queries": args.queries,
+        "seed": args.seed,
+    }
+    record = run_bench(params)
+    if args.json:
+        write_record(record, args.json)
+        print(f"wrote {args.json} ({record['git_sha']})")
+    for name, entry in record["structures"].items():
+        totals = entry["totals"]
+        summary = ", ".join(f"{m}={totals[m]}" for m in PAPER_METRICS)
+        print(f"  {name}: {summary}")
+    if args.compare:
+        try:
+            baseline = load_record(args.compare)
+        except FileNotFoundError:
+            print(f"error: baseline not found: {args.compare}", file=sys.stderr)
+            return EXIT_INCOMPARABLE
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"error: cannot read baseline {args.compare}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_INCOMPARABLE
+        code, lines = compare_records(baseline, record, tolerance=args.tolerance)
+        print("\n".join(lines))
+        return code
+    return 0
+
+
 def _cmd_check(args) -> int:
     from repro.analysis import check_index, check_snapshot, format_findings, has_errors
     from repro.analysis.findings import FSCK_RULES
@@ -433,6 +544,57 @@ def main(argv=None) -> int:
         "traces = recent trace trees",
     )
 
+    p = sub.add_parser(
+        "explain", help="per-level query profile (EXPLAIN) for one read query"
+    )
+    _add_common(p)
+    p.add_argument("query_op", choices=["point", "window", "nearest"])
+    p.add_argument("--structure", default="R*", choices=["R*", "R+", "PMR", "R"])
+    p.add_argument("--snapshot", default=None, help="open this snapshot instead of building")
+    p.add_argument("--x", type=float, default=None)
+    p.add_argument("--y", type=float, default=None)
+    p.add_argument("--x1", type=float, default=None)
+    p.add_argument("--y1", type=float, default=None)
+    p.add_argument("--x2", type=float, default=None)
+    p.add_argument("--y2", type=float, default=None)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--mode", default="intersects", choices=["intersects", "contains"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="send the explain to a running server instead of building locally",
+    )
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="text = rendered plan, json = the raw report object",
+    )
+
+    p = sub.add_parser(
+        "bench",
+        help="run the fixed perf-baseline workload (BENCH_*.json records)",
+    )
+    p.add_argument("--county", default="cecil")
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--queries", type=int, default=25)
+    p.add_argument("--seed", type=int, default=1992)
+    p.add_argument("--json", default=None, help="write the record here")
+    p.add_argument(
+        "--compare",
+        default=None,
+        help="baseline BENCH_*.json to gate against (exit 1 on regression, "
+        "2 if the records are not comparable)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative headroom for gated counters (default 10%%)",
+    )
+
     p = sub.add_parser("check", help="static index fsck (no queries executed)")
     _add_common(p)
     p.add_argument(
@@ -468,6 +630,10 @@ def main(argv=None) -> int:
         return _cmd_recover(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "lint":
@@ -488,6 +654,7 @@ def main(argv=None) -> int:
     )
     from repro.harness.normalized import collect_all_counties
     from repro.harness.query_stats import county_query_stats
+    from repro.metric_names import BBOX_COMPS, DISK_ACCESSES, SEGMENT_COMPS
 
     if args.command == "table1":
         print(format_table1(table1(scale=args.scale)))
@@ -503,7 +670,7 @@ def main(argv=None) -> int:
         per_county = collect_all_counties(scale=args.scale, n_queries=args.queries)
         if args.command == "figure7":
             ranges = normalized_ranges(
-                per_county, "bbox_comps", structures=("R+",), baseline="R*"
+                per_county, BBOX_COMPS, structures=("R+",), baseline="R*"
             )
             print(
                 format_normalized(
@@ -512,10 +679,10 @@ def main(argv=None) -> int:
                 )
             )
         elif args.command == "figure8":
-            ranges = normalized_ranges(per_county, "disk_accesses")
+            ranges = normalized_ranges(per_county, DISK_ACCESSES)
             print(format_normalized(ranges, "Figure 8: relative disk accesses"))
         else:
-            ranges = normalized_ranges(per_county, "segment_comps")
+            ranges = normalized_ranges(per_county, SEGMENT_COMPS)
             print(
                 format_normalized(ranges, "Figure 9: relative segment comparisons")
             )

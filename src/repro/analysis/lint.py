@@ -20,7 +20,11 @@ invariant of this repository:
   ``buffer_hits``) in ``repro.storage``, the comparison fields
   (``segment_comps``, ``bbox_comps``) in ``repro.storage`` or
   ``repro.core`` (the measurement instrument itself). Anywhere else,
-  use :meth:`MetricsCounters.merge`.
+  use :meth:`MetricsCounters.merge`. The counter *names* are governed
+  too: a counter-name string literal anywhere but
+  ``repro/metric_names.py`` (docstrings excepted) is flagged -- every
+  reporting layer must import the names, so one renamed counter cannot
+  silently orphan a stats key.
 * **RP04** -- no bare ``except:`` and no ``except Exception: pass``
   under ``src/``: swallowing arbitrary exceptions hides index
   corruption from the invariant checks.
@@ -42,6 +46,7 @@ import re
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.findings import LINT_RULES, Finding, error
+from repro.metric_names import COMP_FIELDS, COUNTER_FIELDS, DISK_ACCESSES, IO_FIELDS
 
 RP00 = LINT_RULES.register("RP00", "lint disable pragma without a justification")
 RP01 = LINT_RULES.register("RP01", "DiskManager access bypasses the buffer pool")
@@ -50,8 +55,10 @@ RP03 = LINT_RULES.register("RP03", "MetricsCounters field mutated outside its la
 RP04 = LINT_RULES.register("RP04", "bare except / except Exception: pass")
 RP05 = LINT_RULES.register("RP05", "float literal in a grid-coordinate position")
 
-_IO_FIELDS = frozenset({"disk_reads", "disk_writes", "buffer_hits"})
-_COMP_FIELDS = frozenset({"segment_comps", "bbox_comps"})
+_IO_FIELDS = frozenset(IO_FIELDS)
+_COMP_FIELDS = frozenset(COMP_FIELDS)
+#: Names whose string spelling is reserved to ``repro/metric_names.py``.
+_COUNTER_NAME_LITERALS = frozenset(COUNTER_FIELDS) | {DISK_ACCESSES}
 _GRID_CALLS = frozenset(
     {
         "PMRBlock",
@@ -101,12 +108,14 @@ class _Scope:
         self.in_storage = "/repro/storage/" in p or p.endswith("repro/storage")
         self.in_core = "/repro/core/" in p
         self.is_latch_module = p.endswith("repro/storage/latch.py")
+        self.is_metric_names = p.endswith("repro/metric_names.py")
 
 
 class _Visitor(ast.NodeVisitor):
     def __init__(self, path: str, scope: _Scope) -> None:
         self.path = path
         self.scope = scope
+        self.docstrings: Set[int] = set()  # id() of docstring Constants
         self.raw: List[Tuple[str, int, str]] = []  # (rule, line, detail)
 
     def _flag(self, rule: str, node: ast.AST, detail: str) -> None:
@@ -192,6 +201,22 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_counter_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            not self.scope.is_metric_names
+            and isinstance(node.value, str)
+            and node.value in _COUNTER_NAME_LITERALS
+            and id(node) not in self.docstrings
+        ):
+            self._flag(
+                RP03,
+                node,
+                f"counter name {node.value!r} spelled as a string literal; "
+                f"import the constant from repro.metric_names so a rename "
+                f"cannot orphan this key",
+            )
         self.generic_visit(node)
 
     # -- RP04: exception swallowing ------------------------------------
@@ -293,6 +318,24 @@ def _collect_disables(
     return disabled, extra
 
 
+def _docstring_constants(tree: ast.AST) -> Set[int]:
+    """``id()`` of every docstring Constant (exempt from the name rule)."""
+    out: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out
+
+
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one file's source text; returns findings (empty when clean)."""
     try:
@@ -301,6 +344,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
         return [error(RP00, exc.lineno, path, f"file does not parse: {exc.msg}")]
     scope = _Scope(path)
     visitor = _Visitor(path, scope)
+    visitor.docstrings = _docstring_constants(tree)
     visitor.visit(tree)
     if scope.in_core:
         for node in ast.walk(tree):

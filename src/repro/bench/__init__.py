@@ -1,0 +1,34 @@
+"""The continuous perf baseline: ``BENCH_*.json`` records and the gate.
+
+``python -m repro bench --json BENCH_<sha>.json`` builds R*/R+/PMR over
+one fixed synthetic county and drives the five query workloads the paper
+tabulates, emitting a schema-versioned JSON record of per-structure
+disk accesses, comparisons, and wall-time percentiles.  ``python -m
+repro bench --compare BASELINE.json`` re-runs the same workload and
+exits nonzero if any deterministic counter regressed beyond the
+tolerance -- the CI ``perf-baseline`` job runs exactly that against the
+committed ``benchmarks/results/BENCH_baseline.json``.
+
+Deterministic counters (disk accesses, segment comparisons, bbox
+comparisons) gate; wall-clock numbers are recorded for trending but
+only warn, because CI machines are not a controlled benchmark rig.
+"""
+
+from repro.bench.compare import compare_records, load_record
+from repro.bench.runner import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_PARAMS,
+    run_bench,
+    validate_record,
+    write_record,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_PARAMS",
+    "compare_records",
+    "load_record",
+    "run_bench",
+    "validate_record",
+    "write_record",
+]

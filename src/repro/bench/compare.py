@@ -1,0 +1,132 @@
+"""The regression gate: compare a fresh bench record against a baseline.
+
+Only deterministic counters gate -- per-workload and total disk
+accesses, segment comparisons, and bbox comparisons, per structure.  A
+fresh value may exceed the baseline by at most ``tolerance`` (relative);
+anything worse is a regression and the comparison fails.  Improvements
+are reported but never fail (ratcheting the baseline down is a human
+decision: commit the fresh record).  Wall-clock percentiles are compared
+too but only ever *warn*, because a CI runner is not a benchmark rig.
+
+Records are only comparable when their ``schema_version`` and every
+workload parameter match exactly -- a mismatch is a usage error
+(distinct from a regression) so it gets its own exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.bench.runner import (
+    BENCH_SCHEMA_VERSION,
+    BENCH_STRUCTURES,
+    BENCH_WORKLOADS,
+    validate_record,
+)
+from repro.metric_names import PAPER_METRICS
+
+#: Comparison verdict exit codes (the CLI exits with these).
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_INCOMPARABLE = 2
+
+
+def load_record(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _gate_points(record: Dict[str, object]):
+    """Yield (label, value) for every gated counter in the record."""
+    structures = record["structures"]
+    for name in BENCH_STRUCTURES:
+        entry = structures[name]  # type: ignore[index]
+        for metric in PAPER_METRICS:
+            yield f"{name}/totals/{metric}", int(entry["totals"][metric])
+        for wname in BENCH_WORKLOADS:
+            w = entry["workloads"][wname]
+            for metric in PAPER_METRICS:
+                yield f"{name}/{wname}/{metric}", int(w[metric])
+
+
+def _wall_points(record: Dict[str, object]):
+    structures = record["structures"]
+    for name in BENCH_STRUCTURES:
+        for wname in BENCH_WORKLOADS:
+            wall = structures[name]["workloads"][wname]["wall"]  # type: ignore[index]
+            yield f"{name}/{wname}/p50_ms", float(wall["p50_ms"])
+
+
+def compare_records(
+    baseline: Dict[str, object],
+    fresh: Dict[str, object],
+    tolerance: float = 0.10,
+) -> Tuple[int, List[str]]:
+    """Return ``(exit code, report lines)``.
+
+    ``tolerance`` is relative: a gated counter regresses when
+    ``fresh > baseline * (1 + tolerance)``; a zero baseline tolerates
+    only zero (any appearance of a brand-new cost is a regression).
+    """
+    lines: List[str] = []
+    for label, record in (("baseline", baseline), ("fresh", fresh)):
+        problems = validate_record(record)
+        if problems:
+            lines.append(f"{label} record is invalid:")
+            lines.extend(f"  - {p}" for p in problems)
+            return EXIT_INCOMPARABLE, lines
+    if baseline["schema_version"] != fresh["schema_version"]:
+        lines.append(
+            f"schema mismatch: baseline v{baseline['schema_version']} vs "
+            f"fresh v{fresh['schema_version']} (this tool speaks "
+            f"v{BENCH_SCHEMA_VERSION})"
+        )
+        return EXIT_INCOMPARABLE, lines
+    if baseline["params"] != fresh["params"]:
+        lines.append("workload params differ; records are not comparable:")
+        lines.append(f"  baseline: {baseline['params']}")
+        lines.append(f"  fresh:    {fresh['params']}")
+        return EXIT_INCOMPARABLE, lines
+
+    base_points = dict(_gate_points(baseline))
+    regressions: List[str] = []
+    improvements: List[str] = []
+    for label, value in _gate_points(fresh):
+        base = base_points[label]
+        limit = base * (1.0 + tolerance)
+        if value > limit:
+            pct = (value - base) / base * 100 if base else float("inf")
+            regressions.append(
+                f"  REGRESSION {label}: {base} -> {value} "
+                f"(+{pct:.1f}% > {tolerance * 100:.0f}% tolerance)"
+            )
+        elif value < base:
+            improvements.append(f"  improved {label}: {base} -> {value}")
+
+    base_wall = dict(_wall_points(baseline))
+    wall_warnings: List[str] = []
+    for label, value in _wall_points(fresh):
+        base = base_wall[label]
+        if base > 0 and value > base * (1.0 + tolerance):
+            wall_warnings.append(
+                f"  warn (wall-clock, not gating) {label}: "
+                f"{base:.3f}ms -> {value:.3f}ms"
+            )
+
+    lines.append(
+        f"compared {len(base_points)} counters at "
+        f"{tolerance * 100:.0f}% tolerance "
+        f"(baseline {baseline['git_sha']}, fresh {fresh['git_sha']})"
+    )
+    if regressions:
+        lines.append(f"{len(regressions)} regression(s):")
+        lines.extend(regressions)
+    if improvements:
+        lines.append(f"{len(improvements)} improvement(s):")
+        lines.extend(improvements)
+    if wall_warnings:
+        lines.extend(wall_warnings)
+    if not regressions:
+        lines.append("OK: no counter regressed")
+    return (EXIT_REGRESSION if regressions else EXIT_OK), lines

@@ -1,0 +1,249 @@
+"""Run the fixed benchmark workload and emit a ``BENCH_*.json`` record.
+
+The workload is deliberately small and fully seeded: one synthetic
+county at a fixed scale, the three headline structures, and the five
+query kinds of the paper's Table 2 (endpoint point query, two-endpoint
+point query, nearest neighbor, enclosing polygon, range window).  Every
+quantity the regression gate compares is a deterministic counter, so a
+record produced on any machine is comparable with a record produced on
+any other; wall-clock percentiles ride along for trending only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.queries import (
+    enclosing_polygon,
+    nearest_segment,
+    segments_at_other_endpoint,
+    segments_at_point,
+    window_query,
+)
+from repro.data.counties import generate_county
+from repro.harness.experiment import BuiltStructure, build_structure
+from repro.harness.workloads import QueryWorkloads
+from repro.metric_names import BBOX_COMPS, DISK_ACCESSES, PAPER_METRICS, SEGMENT_COMPS
+from repro.obs.buildinfo import git_sha
+
+#: Bump on any incompatible change to the record layout; the comparator
+#: refuses to gate across versions.
+BENCH_SCHEMA_VERSION = 1
+
+#: The record's ``kind`` discriminator.
+BENCH_KIND = "repro-bench"
+
+#: Structures the baseline tracks (the paper's three headliners).
+BENCH_STRUCTURES: Tuple[str, ...] = ("R*", "R+", "PMR")
+
+#: The five query workloads, in table order.
+BENCH_WORKLOADS: Tuple[str, ...] = (
+    "point",
+    "point2",
+    "nearest",
+    "polygon",
+    "range",
+)
+
+#: Everything that determines the deterministic counters. A baseline and
+#: a fresh record are only comparable when these match exactly.
+DEFAULT_PARAMS: Dict[str, object] = {
+    "county": "cecil",
+    "scale": 0.02,
+    "n_queries": 25,
+    "seed": 1992,
+    "page_size": 1024,
+    "pool_pages": 16,
+}
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def _wall_summary(wall_ms: List[float]) -> Dict[str, float]:
+    ordered = sorted(wall_ms)
+    return {
+        "p50_ms": round(_percentile(ordered, 0.50), 4),
+        "p90_ms": round(_percentile(ordered, 0.90), 4),
+        "max_ms": round(_percentile(ordered, 1.0), 4),
+    }
+
+
+def _run_workload(built: BuiltStructure, thunks) -> Dict[str, object]:
+    """Cold-start the pool, run each query, total counters + times."""
+    built.ctx.pool.clear()
+    before = built.ctx.counters.snapshot()
+    wall_ms: List[float] = []
+    n = 0
+    for thunk in thunks:
+        start = time.perf_counter()
+        thunk()
+        wall_ms.append((time.perf_counter() - start) * 1e3)
+        n += 1
+    delta = built.ctx.counters.since(before)
+    out: Dict[str, object] = {"queries": n}
+    out[DISK_ACCESSES] = delta.disk_accesses
+    out[SEGMENT_COMPS] = delta.segment_comps
+    out[BBOX_COMPS] = delta.bbox_comps
+    out["wall"] = _wall_summary(wall_ms)
+    return out
+
+
+def _workload_thunks(built: BuiltStructure, workloads: QueryWorkloads):
+    """The five named workloads as (name, thunk-iterable) pairs."""
+    idx = built.index
+    return (
+        (
+            "point",
+            [
+                (lambda p=p: segments_at_point(idx, p))
+                for p, _ in workloads.endpoint_queries
+            ],
+        ),
+        (
+            "point2",
+            [
+                (lambda p=p, s=s: segments_at_other_endpoint(idx, p, s))
+                for p, s in workloads.endpoint_queries
+            ],
+        ),
+        (
+            "nearest",
+            [(lambda p=p: nearest_segment(idx, p)) for p in workloads.two_stage],
+        ),
+        (
+            "polygon",
+            [(lambda p=p: enclosing_polygon(idx, p)) for p in workloads.two_stage],
+        ),
+        (
+            "range",
+            [(lambda w=w: window_query(idx, w)) for w in workloads.windows],
+        ),
+    )
+
+
+def run_bench(params: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Build the three structures, drive the five workloads, and return
+    the schema-versioned record (see :func:`validate_record`)."""
+    p = dict(DEFAULT_PARAMS)
+    if params:
+        p.update(params)
+    map_data = generate_county(str(p["county"]), scale=float(p["scale"]))
+
+    built: Dict[str, BuiltStructure] = {}
+    for name in BENCH_STRUCTURES:
+        built[name] = build_structure(
+            name,
+            map_data,
+            page_size=int(p["page_size"]),
+            pool_pages=int(p["pool_pages"]),
+        )
+    # The data-correlated query points come from the PMR decomposition
+    # and are then reused verbatim for the R-trees (the paper's model).
+    workloads = QueryWorkloads.generate(
+        map_data,
+        built["PMR"].index,
+        int(p["n_queries"]),
+        seed=int(p["seed"]),
+    )
+
+    structures: Dict[str, object] = {}
+    for name in BENCH_STRUCTURES:
+        b = built[name]
+        build_info: Dict[str, object] = {
+            "seconds": round(b.build_seconds, 4),
+            "pages": b.index.page_count(),
+            "height": b.index.height(),
+            "entries": b.index.entry_count(),
+        }
+        build_info.update(b.build_metrics.as_dict())
+        workload_out: Dict[str, object] = {}
+        totals = {metric: 0 for metric in PAPER_METRICS}
+        for wname, thunks in _workload_thunks(b, workloads):
+            result = _run_workload(b, thunks)
+            workload_out[wname] = result
+            for metric in PAPER_METRICS:
+                totals[metric] += int(result[metric])  # type: ignore[call-overload]
+        structures[name] = {
+            "build": build_info,
+            "workloads": workload_out,
+            "totals": totals,
+        }
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": BENCH_KIND,
+        "git_sha": git_sha(),
+        "params": p,
+        "structures": structures,
+    }
+
+
+def validate_record(record: object) -> List[str]:
+    """Schema check; returns a list of problems (empty means valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be an object, got {type(record).__name__}"]
+    if record.get("kind") != BENCH_KIND:
+        problems.append(f"kind must be {BENCH_KIND!r}, got {record.get('kind')!r}")
+    if record.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, "
+            f"got {record.get('schema_version')!r}"
+        )
+    if not isinstance(record.get("git_sha"), str):
+        problems.append("git_sha must be a string")
+    params = record.get("params")
+    if not isinstance(params, dict):
+        problems.append("params must be an object")
+    else:
+        for key in DEFAULT_PARAMS:
+            if key not in params:
+                problems.append(f"params missing {key!r}")
+    structures = record.get("structures")
+    if not isinstance(structures, dict):
+        return problems + ["structures must be an object"]
+    for name in BENCH_STRUCTURES:
+        entry = structures.get(name)
+        if not isinstance(entry, dict):
+            problems.append(f"structures missing {name!r}")
+            continue
+        totals = entry.get("totals")
+        if not isinstance(totals, dict):
+            problems.append(f"{name}: totals must be an object")
+        else:
+            for metric in PAPER_METRICS:
+                if not isinstance(totals.get(metric), int):
+                    problems.append(f"{name}: totals.{metric} must be an int")
+        workload_out = entry.get("workloads")
+        if not isinstance(workload_out, dict):
+            problems.append(f"{name}: workloads must be an object")
+            continue
+        for wname in BENCH_WORKLOADS:
+            w = workload_out.get(wname)
+            if not isinstance(w, dict):
+                problems.append(f"{name}: workloads missing {wname!r}")
+                continue
+            for metric in PAPER_METRICS:
+                if not isinstance(w.get(metric), int):
+                    problems.append(f"{name}/{wname}: {metric} must be an int")
+            wall = w.get("wall")
+            if not isinstance(wall, dict) or not all(
+                isinstance(wall.get(k), (int, float))
+                for k in ("p50_ms", "p90_ms", "max_ms")
+            ):
+                problems.append(f"{name}/{wname}: wall percentiles malformed")
+    return problems
+
+
+def write_record(record: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -8,6 +8,6 @@ in a B-tree indexed on the locational code, at 8 bytes per tuple and about
 potential disk activity.
 """
 
-from repro.btree.btree import BPlusTree
+from repro.btree.btree import BPlusTree, ScanStats
 
-__all__ = ["BPlusTree"]
+__all__ = ["BPlusTree", "ScanStats"]

@@ -21,6 +21,24 @@ from repro.storage.buffer_pool import BufferPool
 _Pair = Tuple[Any, Any]
 
 
+class ScanStats:
+    """Node-visit tallies for scans that opt into accounting.
+
+    EXPLAIN hands one of these to :meth:`BPlusTree.scan_range` /
+    :meth:`BPlusTree.scan_eq` to learn how many internal pages a descent
+    crossed and how many leaves the chain walk touched -- structural
+    attribution the buffer-pool counters (which only see hit/miss) cannot
+    provide. Purely additive: passing no ``acct`` is the unchanged fast
+    path.
+    """
+
+    __slots__ = ("internal", "leaves")
+
+    def __init__(self) -> None:
+        self.internal = 0
+        self.leaves = 0
+
+
 class BPlusTree:
     """B+-tree over a :class:`~repro.storage.buffer_pool.BufferPool`.
 
@@ -87,15 +105,25 @@ class BPlusTree:
         idx = bisect_left(leaf.entries, (key, value))
         return idx < len(leaf.entries) and leaf.entries[idx] == (key, value)
 
-    def scan_range(self, lo_key: Any, hi_key: Any) -> Iterator[_Pair]:
-        """Yield entries with ``lo_key <= key <= hi_key`` in order."""
+    def scan_range(
+        self, lo_key: Any, hi_key: Any, acct: Optional[ScanStats] = None
+    ) -> Iterator[_Pair]:
+        """Yield entries with ``lo_key <= key <= hi_key`` in order.
+
+        ``acct``, when given, is advanced by one per node visited (the
+        descent's internal pages, then every leaf the chain walk reads).
+        """
         page_id = self._root_id
         node = self.pool.get(page_id)
         probe = (lo_key,)
         while not node.is_leaf:
+            if acct is not None:
+                acct.internal += 1
             idx = bisect_right(node.keys, probe)
             page_id = node.children[idx]
             node = self.pool.get(page_id)
+        if acct is not None:
+            acct.leaves += 1
 
         idx = bisect_left(node.entries, probe)
         while True:
@@ -108,11 +136,13 @@ class BPlusTree:
             if node.next_page is None:
                 return
             node = self.pool.get(node.next_page)
+            if acct is not None:
+                acct.leaves += 1
             idx = 0
 
-    def scan_eq(self, key: Any) -> List[Any]:
+    def scan_eq(self, key: Any, acct: Optional[ScanStats] = None) -> List[Any]:
         """All values stored under exactly ``key``."""
-        return [v for _, v in self.scan_range(key, key)]
+        return [v for _, v in self.scan_range(key, key, acct)]
 
     def has_in_range(self, lo_key: Any, hi_key: Any) -> bool:
         for _ in self.scan_range(lo_key, hi_key):

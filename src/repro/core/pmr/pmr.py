@@ -24,13 +24,22 @@ fewer segment comparisons; it is exercised by the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.btree import BPlusTree
+from repro.btree import BPlusTree, ScanStats
 from repro.core.interface import WORLD_DEPTH, WORLD_SIZE, NNItem, SpatialIndex, query_lower_bound
 from repro.core.pmr.blocks import PMRBlock
 from repro.core.pmr.locational import hilbert_code, locational_code
 from repro.geometry import Point, Rect, Segment
+from repro.obs.explain import (
+    CAUSE_BTREE,
+    COUNT_BLOCKS_DECODED,
+    COUNT_BTREE_INTERNAL,
+    COUNT_BTREE_LEAVES,
+    COUNT_BTREE_SCANS,
+    COUNT_NN_EXPANSIONS,
+)
+from repro.obs.trace import TRACER
 from repro.storage.context import StorageContext
 from repro.storage.layout import (
     BTREE_INTERNAL_ENTRY_BYTES,
@@ -217,6 +226,8 @@ class PMRQuadtree(SpatialIndex):
         return block
 
     def candidate_ids_at_point(self, p: Point) -> List[int]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            return self._point_profiled(prof, p)
         block = self._leaf_block_at(p)
         self.ctx.counters.bbox_comps += 1  # one bucket examined
         values = self.btree.scan_eq(self._code(block))
@@ -228,6 +239,47 @@ class PMRQuadtree(SpatialIndex):
             ]
         return [self._seg_id_of(v) for v in values]
 
+    def _point_profiled(self, prof, p: Point) -> List[int]:
+        """``candidate_ids_at_point`` with EXPLAIN attribution.
+
+        Same storage traffic and counter charges as the plain path; the
+        in-memory directory descent is additionally recorded as node
+        visits per level (it moves no counters, so those buckets show
+        zero disk work -- which is itself the finding: the PMR pays for
+        buckets and B-tree pages, never for directory levels).
+        """
+        counters = self.ctx.counters
+        block = self.root
+        decoded = 1
+        while block.children is not None:
+            prof.level(block.depth).node_visits += 1
+            block = block.child_containing(p.x, p.y, self.world_size)
+            decoded += 1
+        prof.count(COUNT_BLOCKS_DECODED, decoded)
+        with prof.charge_level(block.depth, counters) as bucket:
+            counters.bbox_comps += 1  # one bucket examined
+            bucket.node_visits += 1
+            bucket.entries_examined += 1
+            bucket.entries_matched += 1
+        acct = ScanStats()
+        with prof.charge(CAUSE_BTREE, counters):
+            values = self.btree.scan_eq(self._code(block), acct)
+        self._note_btree_scans(prof, acct, scans=1)
+        if self.store_bboxes:
+            return [
+                v[0]
+                for v in values
+                if v[1][0] <= p.x <= v[1][2] and v[1][1] <= p.y <= v[1][3]
+            ]
+        return [self._seg_id_of(v) for v in values]
+
+    def _note_btree_scans(self, prof, acct: ScanStats, scans: int) -> None:
+        cause = prof.cause(CAUSE_BTREE)
+        cause.node_visits += acct.internal + acct.leaves
+        prof.count(COUNT_BTREE_SCANS, scans)
+        prof.count(COUNT_BTREE_LEAVES, acct.leaves)
+        prof.count(COUNT_BTREE_INTERNAL, acct.internal)
+
     def candidate_ids_in_rect(self, rect: Rect) -> List[int]:
         """Window decomposition in the style of Aref & Samet [1].
 
@@ -238,6 +290,8 @@ class PMRQuadtree(SpatialIndex):
         the window, not one per bucket -- which is what makes the linear
         quadtree competitive on range queries despite its many buckets.
         """
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            return self._window_profiled(prof, rect)
         intervals: List[List[int]] = []  # [lo, hi] code intervals
 
         def walk(block: PMRBlock) -> None:
@@ -275,10 +329,73 @@ class PMRQuadtree(SpatialIndex):
                     out.append(self._seg_id_of(v))
         return out
 
+    def _window_profiled(self, prof, rect: Rect) -> List[int]:
+        """``candidate_ids_in_rect`` with EXPLAIN attribution.
+
+        The bucket comparisons the plain path charges in one lump
+        (``bbox_comps += len(intervals)``) are charged per decomposition
+        depth here -- same total, attributed -- and the interval scans'
+        B-tree traffic lands in the ``btree`` cause bucket with leaf/
+        internal visit tallies from :class:`~repro.btree.ScanStats`.
+        """
+        counters = self.ctx.counters
+        intervals: List[Tuple[int, int, int]] = []  # (lo, hi, depth)
+        decoded = 0
+
+        def walk(block: PMRBlock) -> None:
+            nonlocal decoded
+            decoded += 1
+            if block.children is not None:
+                prof.level(block.depth).node_visits += 1
+                for child in block.children:
+                    if self._rect(child).intersects(rect):
+                        walk(child)
+                return
+            lo = self._code(block)
+            intervals.append(
+                (lo, lo + (1 << (2 * (self.max_depth - block.depth))) - 1, block.depth)
+            )
+
+        walk(self.root)
+        prof.count(COUNT_BLOCKS_DECODED, decoded)
+        by_depth: Dict[int, int] = {}
+        for _, _, depth in intervals:
+            by_depth[depth] = by_depth.get(depth, 0) + 1
+        for depth in sorted(by_depth):
+            n = by_depth[depth]
+            with prof.charge_level(depth, counters) as bucket:
+                counters.bbox_comps += n
+                bucket.node_visits += n
+                bucket.entries_examined += n
+                bucket.entries_matched += n
+
+        pairs = sorted([lo, hi] for lo, hi, _ in intervals)
+        runs: List[List[int]] = []
+        for lo, hi in pairs:
+            if runs and runs[-1][1] + 1 == lo:
+                runs[-1][1] = hi
+            else:
+                runs.append([lo, hi])
+
+        out: List[int] = []
+        acct = ScanStats()
+        with prof.charge(CAUSE_BTREE, counters):
+            for lo, hi in runs:
+                for _, v in self.btree.scan_range(lo, hi, acct):
+                    if self.store_bboxes:
+                        if Rect(v[1][0], v[1][1], v[1][2], v[1][3]).intersects(rect):
+                            out.append(v[0])
+                    else:
+                        out.append(self._seg_id_of(v))
+        self._note_btree_scans(prof, acct, scans=len(runs))
+        return out
+
     def nn_start(self, p: Point) -> List[NNItem]:
         return [NNItem(0.0, False, self.root)]
 
     def nn_expand(self, ref: Any, p: Point) -> List[NNItem]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            return self._nn_expand_profiled(prof, ref, p)
         block: PMRBlock = ref
         if block.children is not None:
             return [
@@ -288,6 +405,43 @@ class PMRQuadtree(SpatialIndex):
         self.ctx.counters.bbox_comps += 1  # bucket whose contents we examine
         d_block = query_lower_bound(p, self._rect(block))
         values = self.btree.scan_eq(self._code(block))
+        if self.store_bboxes:
+            return [
+                NNItem(
+                    query_lower_bound(p, Rect(*v[1])),
+                    True,
+                    v[0],
+                )
+                for v in values
+            ]
+        return [NNItem(d_block, True, self._seg_id_of(v)) for v in values]
+
+    def _nn_expand_profiled(self, prof, ref: Any, p: Point) -> List[NNItem]:
+        """``nn_expand`` with EXPLAIN attribution (levels = block depths)."""
+        counters = self.ctx.counters
+        block: PMRBlock = ref
+        prof.count(COUNT_NN_EXPANSIONS, 1)
+        if block.children is not None:
+            # Directory expansion: in-memory, moves no counters.
+            bucket = prof.level(block.depth)
+            bucket.node_visits += 1
+            bucket.entries_examined += len(block.children)
+            bucket.entries_matched += len(block.children)
+            prof.count(COUNT_BLOCKS_DECODED, 1)
+            return [
+                NNItem(query_lower_bound(p, self._rect(c)), False, c)
+                for c in block.children
+            ]
+        with prof.charge_level(block.depth, counters) as bucket:
+            counters.bbox_comps += 1  # bucket whose contents we examine
+            bucket.node_visits += 1
+            bucket.entries_examined += 1
+            bucket.entries_matched += 1
+        d_block = query_lower_bound(p, self._rect(block))
+        acct = ScanStats()
+        with prof.charge(CAUSE_BTREE, counters):
+            values = self.btree.scan_eq(self._code(block), acct)
+        self._note_btree_scans(prof, acct, scans=1)
         if self.store_bboxes:
             return [
                 NNItem(

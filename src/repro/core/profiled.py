@@ -1,0 +1,99 @@
+"""Profiled twins of the hot traversal loops, shared by the tree indexes.
+
+When a query runs under EXPLAIN the index routes its search through one
+of these helpers instead of its plain loop. The contract that makes the
+explain report *exact* rather than estimated: a profiled traversal
+performs the **same buffer-pool requests and the same counter charges in
+the same order** as the plain one -- it only adds a depth alongside each
+stack item and brackets each node visit in a
+:meth:`~repro.obs.explain.ExplainProfile.charge_level` window. Any
+divergence between the two loops is a bug the explain exactness tests
+catch (attributed totals must equal the engine's observed deltas).
+
+This lives in ``repro.core`` (not ``repro.obs``) deliberately: the
+charge ``counters.bbox_comps += len(node.entries)`` is a counter
+mutation, and lint rule RP03 restricts those to the storage and core
+layers that own the measurement.
+
+The Guttman/R* and R+ node classes share the shape these helpers rely
+on: ``is_leaf`` plus ``entries`` of ``(rect, ref)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from repro.core.interface import NNItem, query_lower_bound
+from repro.geometry import Point, Rect
+
+
+def profiled_tree_search(
+    prof,
+    pool,
+    counters,
+    root_id: int,
+    match: Callable[[Rect], bool],
+) -> List[int]:
+    """The stack-based containment/overlap search, with level attribution.
+
+    Mirrors ``candidate_ids_at_point`` / ``candidate_ids_in_rect`` of the
+    R-tree family (Guttman, R*, R+): pop a page, charge one bbox
+    comparison per entry, collect matching leaf refs, push matching
+    children. ``match`` is the per-rectangle predicate
+    (``contains_point`` or ``intersects`` bound to the query).
+    """
+    out: List[int] = []
+    stack: List[Tuple[int, int]] = [(root_id, 0)]
+    while stack:
+        page_id, depth = stack.pop()
+        with prof.charge_level(depth, counters) as bucket:
+            node = pool.get(page_id)
+            counters.bbox_comps += len(node.entries)
+            matched = [ref for r, ref in node.entries if match(r)]
+            bucket.node_visits += 1
+            bucket.entries_examined += len(node.entries)
+            bucket.entries_matched += len(matched)
+            bucket.entries_pruned += len(node.entries) - len(matched)
+        if node.is_leaf:
+            out.extend(matched)
+        else:
+            stack.extend((ref, depth + 1) for ref in matched)
+    return out
+
+
+def profiled_nn_expand(
+    prof,
+    pool,
+    counters,
+    ref: Any,
+    p: Point,
+    leaf_bound: Callable[[Any], Rect],
+) -> List[NNItem]:
+    """One nearest-neighbour node expansion, with level attribution.
+
+    Mirrors ``nn_expand`` of the R-tree family. The node's level comes
+    from the profile's node-level map (the root is seeded at 0 by the
+    profiled ``nn_start`` wrapper; children are registered here at
+    ``depth + 1``), so the best-first visiting order still attributes to
+    the right level. ``leaf_bound`` supplies the rectangle whose distance
+    lower-bounds a leaf's candidates -- the node MBR for Guttman/R*, the
+    union of entry rectangles for R+ (whose stored regions are partition
+    tiles, not content bounds).
+    """
+    depth = prof.node_level(ref)
+    with prof.charge_level(depth, counters) as bucket:
+        node = pool.get(ref)
+        counters.bbox_comps += len(node.entries)
+        bucket.node_visits += 1
+        bucket.entries_examined += len(node.entries)
+        bucket.entries_matched += len(node.entries)
+        if node.is_leaf:
+            if not node.entries:
+                return []
+            d = query_lower_bound(p, leaf_bound(node))
+            return [NNItem(d, True, child) for _, child in node.entries]
+        items = []
+        for r, child in node.entries:
+            prof.set_node_level(child, depth + 1)
+            items.append(NNItem(query_lower_bound(p, r), False, child))
+        return items

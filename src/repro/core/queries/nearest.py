@@ -19,6 +19,12 @@ from typing import Iterator, Optional, Tuple, Union
 from repro.core.interface import NNQuery, SegmentQuery, SpatialIndex
 from repro.geometry import Point, Segment
 from repro.geometry.distance import segment_segment_distance2
+from repro.obs.explain import (
+    CAUSE_SEGMENT_TABLE,
+    COUNT_CANDIDATES,
+    COUNT_SEGMENT_FETCHES,
+)
+from repro.obs.trace import TRACER
 
 # Heap entry kinds. On distance ties, nodes expand and candidates verify
 # BEFORE any verified segment is yielded, and verified ties order by
@@ -53,6 +59,9 @@ def iter_nearest(
         kind = _CANDIDATE if item.is_segment else _NODE
         heapq.heappush(heap, (item.dist2, kind, next(tiebreak), item.ref))
 
+    # Captured once per search, not per pop: the engine attaches the
+    # EXPLAIN profile for the whole query before this generator advances.
+    prof = TRACER.current_profile() if TRACER.profiling else None
     resolved = set()
     while heap:
         dist2, kind, _, ref = heapq.heappop(heap)
@@ -62,7 +71,14 @@ def iter_nearest(
             if ref in resolved:
                 continue
             resolved.add(ref)
-            seg = index.ctx.segments.fetch(ref)
+            if prof is not None:
+                prof.count(COUNT_CANDIDATES)
+                with prof.charge(CAUSE_SEGMENT_TABLE, index.ctx.counters) as b:
+                    seg = index.ctx.segments.fetch(ref)
+                b.node_visits += 1
+                prof.count(COUNT_SEGMENT_FETCHES)
+            else:
+                seg = index.ctx.segments.fetch(ref)
             true_d2 = _true_distance2(query, seg)
             heapq.heappush(heap, (true_d2, _VERIFIED, ref, ref))
         else:

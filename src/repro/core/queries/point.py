@@ -14,6 +14,14 @@ from typing import List, Tuple
 
 from repro.core.interface import SpatialIndex
 from repro.geometry import Point, Segment
+from repro.obs.explain import (
+    CAUSE_SEGMENT_TABLE,
+    COUNT_CANDIDATES,
+    COUNT_DUPLICATES,
+    COUNT_RESULTS,
+    COUNT_SEGMENT_FETCHES,
+)
+from repro.obs.trace import TRACER
 
 
 def incident_segments_with_geometry(
@@ -25,6 +33,8 @@ def incident_segments_with_geometry(
     the directions of the incident edges, so the fetched geometry is
     returned rather than thrown away.
     """
+    if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+        return _incident_profiled(index, p, prof)
     out: List[Tuple[int, Segment]] = []
     seen = set()
     for seg_id in index.candidate_ids_at_point(p):
@@ -34,6 +44,29 @@ def incident_segments_with_geometry(
         seg = index.ctx.segments.fetch(seg_id)
         if seg.has_endpoint(p):
             out.append((seg_id, seg))
+    return out
+
+
+def _incident_profiled(
+    index: SpatialIndex, p: Point, prof
+) -> List[Tuple[int, Segment]]:
+    """The same dedup/verify loop, attributing the segment-table fetches."""
+    counters = index.ctx.counters
+    out: List[Tuple[int, Segment]] = []
+    seen = set()
+    for seg_id in index.candidate_ids_at_point(p):
+        prof.count(COUNT_CANDIDATES)
+        if seg_id in seen:
+            prof.count(COUNT_DUPLICATES)
+            continue
+        seen.add(seg_id)
+        with prof.charge(CAUSE_SEGMENT_TABLE, counters) as bucket:
+            seg = index.ctx.segments.fetch(seg_id)
+        bucket.node_visits += 1
+        prof.count(COUNT_SEGMENT_FETCHES)
+        if seg.has_endpoint(p):
+            out.append((seg_id, seg))
+            prof.count(COUNT_RESULTS)
     return out
 
 

@@ -6,6 +6,14 @@ from typing import List
 
 from repro.core.interface import SpatialIndex
 from repro.geometry import Rect
+from repro.obs.explain import (
+    CAUSE_SEGMENT_TABLE,
+    COUNT_CANDIDATES,
+    COUNT_DUPLICATES,
+    COUNT_RESULTS,
+    COUNT_SEGMENT_FETCHES,
+)
+from repro.obs.trace import TRACER
 
 
 def window_query(
@@ -27,6 +35,8 @@ def window_query(
     """
     if mode not in ("intersects", "contains"):
         raise ValueError(f"mode must be 'intersects' or 'contains', got {mode!r}")
+    if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+        return _window_profiled(index, window, mode, prof)
     out: List[int] = []
     seen = set()
     for seg_id in index.candidate_ids_in_rect(window):
@@ -40,4 +50,37 @@ def window_query(
         else:
             if window.contains_point(seg.start) and window.contains_point(seg.end):
                 out.append(seg_id)
+    return out
+
+
+def _window_profiled(
+    index: SpatialIndex, window: Rect, mode: str, prof
+) -> List[int]:
+    """The same dedup/verify loop, attributing the segment-table fetches.
+
+    The candidate/duplicate tallies expose the R+ and PMR duplication
+    directly: candidates minus unique fetches is the number of extra
+    copies the structure's tiling produced for this window.
+    """
+    counters = index.ctx.counters
+    out: List[int] = []
+    seen = set()
+    for seg_id in index.candidate_ids_in_rect(window):
+        prof.count(COUNT_CANDIDATES)
+        if seg_id in seen:
+            prof.count(COUNT_DUPLICATES)
+            continue
+        seen.add(seg_id)
+        with prof.charge(CAUSE_SEGMENT_TABLE, counters) as bucket:
+            seg = index.ctx.segments.fetch(seg_id)
+        bucket.node_visits += 1
+        prof.count(COUNT_SEGMENT_FETCHES)
+        if mode == "intersects":
+            if seg.intersects_rect(window):
+                out.append(seg_id)
+                prof.count(COUNT_RESULTS)
+        else:
+            if window.contains_point(seg.start) and window.contains_point(seg.end):
+                out.append(seg_id)
+                prof.count(COUNT_RESULTS)
     return out

@@ -27,7 +27,9 @@ from math import ceil
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.interface import WORLD_SIZE, NNItem, SpatialIndex, query_lower_bound
+from repro.core.profiled import profiled_nn_expand, profiled_tree_search
 from repro.core.rplus.node import Entry, RPlusNode
+from repro.obs.trace import TRACER
 from repro.geometry import Point, Rect, Segment
 from repro.storage.context import StorageContext
 from repro.storage.layout import (
@@ -128,6 +130,14 @@ class RPlusTree(SpatialIndex):
     # Searches
     # ------------------------------------------------------------------
     def candidate_ids_at_point(self, p: Point) -> List[int]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            return profiled_tree_search(
+                prof,
+                self.ctx.pool,
+                self.ctx.counters,
+                self._root_id,
+                lambda r: r.contains_point(p),
+            )
         out: List[int] = []
         pool = self.ctx.pool
         counters = self.ctx.counters
@@ -143,6 +153,14 @@ class RPlusTree(SpatialIndex):
         return out
 
     def candidate_ids_in_rect(self, rect: Rect) -> List[int]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            return profiled_tree_search(
+                prof,
+                self.ctx.pool,
+                self.ctx.counters,
+                self._root_id,
+                lambda r: r.intersects(rect),
+            )
         out: List[int] = []
         pool = self.ctx.pool
         counters = self.ctx.counters
@@ -157,9 +175,20 @@ class RPlusTree(SpatialIndex):
         return out
 
     def nn_start(self, p: Point) -> List[NNItem]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            prof.set_node_level(self._root_id, 0)
         return [NNItem(0.0, False, self._root_id)]
 
     def nn_expand(self, ref: Any, p: Point) -> List[NNItem]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            return profiled_nn_expand(
+                prof,
+                self.ctx.pool,
+                self.ctx.counters,
+                ref,
+                p,
+                lambda node: Rect.union_of(r for r, _ in node.entries),
+            )
         node: RPlusNode = self.ctx.pool.get(ref)
         self.ctx.counters.bbox_comps += len(node.entries)
         if node.is_leaf:

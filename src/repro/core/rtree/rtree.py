@@ -15,8 +15,10 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.interface import NNItem, SpatialIndex, query_lower_bound
+from repro.core.profiled import profiled_nn_expand, profiled_tree_search
 from repro.core.rtree.node import Entry, RTreeNode
 from repro.core.rtree.splits import split_quadratic
+from repro.obs.trace import TRACER
 from repro.geometry import Point, Rect
 from repro.storage.context import StorageContext
 from repro.storage.layout import (
@@ -85,6 +87,14 @@ class GuttmanRTree(SpatialIndex):
     # Searches
     # ------------------------------------------------------------------
     def candidate_ids_at_point(self, p: Point) -> List[int]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            return profiled_tree_search(
+                prof,
+                self.ctx.pool,
+                self.ctx.counters,
+                self._root_id,
+                lambda r: r.contains_point(p),
+            )
         out: List[int] = []
         pool = self.ctx.pool
         counters = self.ctx.counters
@@ -99,6 +109,14 @@ class GuttmanRTree(SpatialIndex):
         return out
 
     def candidate_ids_in_rect(self, rect: Rect) -> List[int]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            return profiled_tree_search(
+                prof,
+                self.ctx.pool,
+                self.ctx.counters,
+                self._root_id,
+                lambda r: r.intersects(rect),
+            )
         out: List[int] = []
         pool = self.ctx.pool
         counters = self.ctx.counters
@@ -113,9 +131,20 @@ class GuttmanRTree(SpatialIndex):
         return out
 
     def nn_start(self, p: Point) -> List[NNItem]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            prof.set_node_level(self._root_id, 0)
         return [NNItem(0.0, False, self._root_id)]
 
     def nn_expand(self, ref: Any, p: Point) -> List[NNItem]:
+        if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
+            return profiled_nn_expand(
+                prof,
+                self.ctx.pool,
+                self.ctx.counters,
+                ref,
+                p,
+                lambda node: node.mbr(),
+            )
         node: RTreeNode = self.ctx.pool.get(ref)
         self.ctx.counters.bbox_comps += len(node.entries)
         if node.is_leaf:

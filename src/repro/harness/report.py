@@ -24,6 +24,7 @@ from repro.harness.tables import (
     format_table1,
     format_table2,
 )
+from repro.metric_names import BBOX_COMPS, DISK_ACCESSES, SEGMENT_COMPS
 
 
 def full_report(
@@ -67,18 +68,18 @@ def full_report(
         (
             "Figure 7 — relative bounding box computations",
             normalized_ranges(
-                per_county, "bbox_comps", structures=("R+",), baseline="R*"
+                per_county, BBOX_COMPS, structures=("R+",), baseline="R*"
             ),
             "R*",
         ),
         (
             "Figure 8 — relative disk accesses",
-            normalized_ranges(per_county, "disk_accesses"),
+            normalized_ranges(per_county, DISK_ACCESSES),
             "PMR",
         ),
         (
             "Figure 9 — relative segment comparisons",
-            normalized_ranges(per_county, "segment_comps"),
+            normalized_ranges(per_county, SEGMENT_COMPS),
             "PMR",
         ),
     ]

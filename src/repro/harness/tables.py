@@ -10,11 +10,12 @@ from repro.harness.normalized import NormalizedRange
 from repro.harness.occupancy import OccupancyReport
 from repro.harness.sweeps import SweepCell, sweep_as_grid
 from repro.harness.workloads import WORKLOAD_NAMES, QueryStats
+from repro.metric_names import BBOX_COMPS, DISK_ACCESSES, SEGMENT_COMPS
 
 _METRIC_LABELS = {
-    "disk_accesses": "disk accesses",
-    "segment_comps": "segment comps",
-    "bbox_comps": "bbox / node comps",
+    DISK_ACCESSES: "disk accesses",
+    SEGMENT_COMPS: "segment comps",
+    BBOX_COMPS: "bbox / node comps",
 }
 
 

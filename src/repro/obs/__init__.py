@@ -26,8 +26,12 @@ is active on their thread. The server exposes ``{"op": "trace"}`` and
 prom|json``.
 """
 
+from repro.obs.buildinfo import git_sha, publish_build_info
+from repro.obs.explain import ExplainProfile, format_explain, merge_attributed
+from repro.obs.health import compute_health, publish_health
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     LatencyHistogram,
     MetricsRegistry,
     SlowQueryLog,
@@ -38,13 +42,21 @@ from repro.obs.trace import TRACER, Tracer, trace_event, trace_span
 
 __all__ = [
     "Counter",
+    "ExplainProfile",
+    "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
     "SlowQueryLog",
     "TRACER",
     "Tracer",
+    "compute_health",
+    "format_explain",
     "get_registry",
+    "git_sha",
+    "merge_attributed",
     "parse_prom_text",
+    "publish_build_info",
+    "publish_health",
     "render_prom",
     "trace_event",
     "trace_span",

@@ -1,0 +1,270 @@
+"""Query EXPLAIN: the paper's three metrics decomposed by level and cause.
+
+The aggregates (``MetricsCounters``, the per-session attribution, the
+registry) say *how much* a query cost; an :class:`ExplainProfile` says
+*where*: which tree level the disk accesses and bounding-box comparisons
+happened at, how many candidates the R+ duplication produced and the
+query layer deduplicated, how many directory blocks the PMR decoded and
+how many locational-code B-tree leaves its interval scans walked, and
+how much of the bill was the segment table verifying geometry.
+
+Mechanics: the engine builds a profile, attaches it to the executing
+thread through the tracer's span context
+(:meth:`repro.obs.trace.Tracer.attach_profile`), and runs the query.
+Each core traversal call site checks ``TRACER.profiling`` (one attribute
+load when off) and, when a profile is attached, routes through a
+profiled variant that performs *the same pool traffic and counter
+charges in the same order* but brackets each unit of work in a
+:meth:`ExplainProfile.charge_level` / :meth:`ExplainProfile.charge`
+delta window. A window snapshots the live scratch counters on entry and
+adds the deltas to its bucket on exit -- so summing every bucket of the
+profile reproduces the engine's aggregate counters for the query
+*exactly*, by construction (the ``exact`` field of the explain report;
+the test suite asserts it over fixed-seed workloads on all three
+structures).
+
+The profile object itself never mutates any ``MetricsCounters`` (it only
+reads them), keeping lint rule RP03's ownership story intact: counters
+are still charged only by storage and core code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.metric_names import (
+    BBOX_COMPS,
+    BUFFER_HITS,
+    COUNTER_FIELDS,
+    DISK_ACCESSES,
+    DISK_READS,
+    DISK_WRITES,
+    SEGMENT_COMPS,
+)
+
+#: Cause bucket for segment-table verification fetches.
+CAUSE_SEGMENT_TABLE = "segment_table"
+#: Cause bucket for the PMR's locational-code B-tree traffic.
+CAUSE_BTREE = "btree"
+
+#: Count keys (the non-delta tallies a profile accumulates).
+COUNT_CANDIDATES = "candidates"
+COUNT_DUPLICATES = "duplicates_deduped"
+COUNT_RESULTS = "results"
+COUNT_SEGMENT_FETCHES = "segment_fetches"
+COUNT_BLOCKS_DECODED = "blocks_decoded"
+COUNT_BTREE_SCANS = "btree_scans"
+COUNT_BTREE_LEAVES = "btree_leaves_scanned"
+COUNT_BTREE_INTERNAL = "btree_internal_visited"
+COUNT_NN_EXPANSIONS = "nn_expansions"
+
+
+class Bucket:
+    """Counter deltas (plus structural tallies) attributed to one level
+    or one cause."""
+
+    __slots__ = (
+        "node_visits",
+        *COUNTER_FIELDS,
+        "entries_examined",
+        "entries_matched",
+        "entries_pruned",
+    )
+
+    def __init__(self) -> None:
+        self.node_visits = 0
+        self.disk_reads = 0
+        self.disk_writes = 0
+        self.buffer_hits = 0
+        self.segment_comps = 0
+        self.bbox_comps = 0
+        self.entries_examined = 0
+        self.entries_matched = 0
+        self.entries_pruned = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        out = {name: getattr(self, name) for name in COUNTER_FIELDS}
+        out["node_visits"] = self.node_visits
+        out["entries_examined"] = self.entries_examined
+        out["entries_matched"] = self.entries_matched
+        out["entries_pruned"] = self.entries_pruned
+        return out
+
+
+class _ChargeWindow:
+    """Context manager adding the counter movement inside it to a bucket.
+
+    Reads the *live* counters object it was handed (under the engine's
+    attribution this is the per-query scratch set), so nesting windows
+    would double-charge -- call sites keep them flat.
+    """
+
+    __slots__ = ("_bucket", "_counters", "_base")
+
+    def __init__(self, bucket: Bucket, counters) -> None:
+        self._bucket = bucket
+        self._counters = counters
+
+    def __enter__(self) -> Bucket:
+        c = self._counters
+        self._base = (
+            c.disk_reads,
+            c.disk_writes,
+            c.buffer_hits,
+            c.segment_comps,
+            c.bbox_comps,
+        )
+        return self._bucket
+
+    def __exit__(self, *exc) -> None:
+        c, base, b = self._counters, self._base, self._bucket
+        b.disk_reads += c.disk_reads - base[0]
+        b.disk_writes += c.disk_writes - base[1]
+        b.buffer_hits += c.buffer_hits - base[2]
+        b.segment_comps += c.segment_comps - base[3]
+        b.bbox_comps += c.bbox_comps - base[4]
+
+
+class ExplainProfile:
+    """Per-level and per-cause attribution for one explained query.
+
+    One profile serves one query on one thread; nothing here is locked.
+    """
+
+    def __init__(self, op: str, structure: str) -> None:
+        self.op = op
+        self.structure = structure
+        self.levels: Dict[int, Bucket] = {}
+        self.causes: Dict[str, Bucket] = {}
+        self.counts: Dict[str, int] = {}
+        #: Node ref -> tree level, maintained by the profiled nearest-
+        #: neighbour expansions so heap-ordered visits still attribute to
+        #: the right level (root = 0).
+        self._node_levels: Dict[Any, int] = {}
+
+    # -- attribution windows -------------------------------------------
+    def level(self, depth: int) -> Bucket:
+        bucket = self.levels.get(depth)
+        if bucket is None:
+            bucket = self.levels[depth] = Bucket()
+        return bucket
+
+    def cause(self, name: str) -> Bucket:
+        bucket = self.causes.get(name)
+        if bucket is None:
+            bucket = self.causes[name] = Bucket()
+        return bucket
+
+    def charge_level(self, depth: int, counters) -> _ChargeWindow:
+        """Window attributing counter movement to tree level ``depth``."""
+        return _ChargeWindow(self.level(depth), counters)
+
+    def charge(self, cause: str, counters) -> _ChargeWindow:
+        """Window attributing counter movement to a named cause."""
+        return _ChargeWindow(self.cause(cause), counters)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + n
+
+    # -- nearest-neighbour level bookkeeping ---------------------------
+    def node_level(self, ref: Any) -> int:
+        return self._node_levels.get(ref, 0)
+
+    def set_node_level(self, ref: Any, depth: int) -> None:
+        self._node_levels[ref] = depth
+
+    # -- totals and reporting ------------------------------------------
+    def attributed(self) -> Dict[str, int]:
+        """Every counter field summed over all buckets (plus the alias)."""
+        totals = dict.fromkeys(COUNTER_FIELDS, 0)
+        for bucket in list(self.levels.values()) + list(self.causes.values()):
+            for name in COUNTER_FIELDS:
+                totals[name] += getattr(bucket, name)
+        totals[DISK_ACCESSES] = totals[DISK_READS]
+        return totals
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "structure": self.structure,
+            "levels": [
+                dict(level=depth, **self.levels[depth].to_dict())
+                for depth in sorted(self.levels)
+            ],
+            "causes": {
+                name: self.causes[name].to_dict()
+                for name in sorted(self.causes)
+            },
+            "counts": dict(sorted(self.counts.items())),
+            "attributed": self.attributed(),
+        }
+
+
+def format_explain(report: Dict[str, Any]) -> str:
+    """Render an engine explain report as an aligned text table."""
+    plan = report["plan"]
+    lines = [
+        f"EXPLAIN {plan['op']} on {plan['structure']} -- "
+        f"{report['result_count']} result(s) in {report['elapsed_ms']:.3f} ms",
+        f"  args: {report['args']}",
+    ]
+    header = (
+        f"  {'where':<16}{'visits':>8}{'reads':>8}{'hits':>8}"
+        f"{'bbox':>8}{'segcmp':>8}{'pruned':>8}"
+    )
+    lines.append(header)
+
+    def row(label: str, b: Dict[str, int]) -> str:
+        return (
+            f"  {label:<16}{b['node_visits']:>8}{b[DISK_READS]:>8}"
+            f"{b[BUFFER_HITS]:>8}{b[BBOX_COMPS]:>8}{b[SEGMENT_COMPS]:>8}"
+            f"{b['entries_pruned']:>8}"
+        )
+
+    for level in plan["levels"]:
+        lines.append(row(f"level {level['level']}", level))
+    for name, bucket in plan["causes"].items():
+        lines.append(row(name, bucket))
+    att = plan["attributed"]
+    lines.append(
+        f"  {'total':<16}{'':>8}{att[DISK_READS]:>8}{att[BUFFER_HITS]:>8}"
+        f"{att[BBOX_COMPS]:>8}{att[SEGMENT_COMPS]:>8}{'':>8}"
+    )
+    if plan["counts"]:
+        pairs = ", ".join(f"{k}={v}" for k, v in plan["counts"].items())
+        lines.append(f"  counts: {pairs}")
+    obs = report["observed"]
+    lines.append(
+        f"  observed: {DISK_ACCESSES}={obs[DISK_ACCESSES]} "
+        f"{BUFFER_HITS}={obs[BUFFER_HITS]} {BBOX_COMPS}={obs[BBOX_COMPS]} "
+        f"{SEGMENT_COMPS}={obs[SEGMENT_COMPS]} {DISK_WRITES}={obs[DISK_WRITES]}"
+    )
+    lines.append(
+        f"  attribution exact: {report['exact']}"
+        + ("" if report["exact"] else f" (unattributed: {report['unattributed']})")
+    )
+    cache = report.get("cache")
+    if cache is not None:
+        lines.append(
+            f"  cache: bypassed (canonical key "
+            f"{'already cached' if cache['would_hit'] else 'not cached'})"
+        )
+    wal = report.get("wal")
+    if wal is not None:
+        lines.append(
+            f"  wal: appends={wal['appends']} fsyncs={wal['fsyncs']} "
+            f"(read ops never log)"
+        )
+    return "\n".join(lines)
+
+
+def merge_attributed(reports: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Sum the ``attributed`` totals of many explain reports (tests and
+    the exactness acceptance check)."""
+    totals = dict.fromkeys(COUNTER_FIELDS, 0)
+    for report in reports:
+        att = report["plan"]["attributed"]
+        for name in COUNTER_FIELDS:
+            totals[name] += att[name]
+    totals[DISK_ACCESSES] = totals[DISK_READS]
+    return totals

@@ -26,6 +26,13 @@ import time
 from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.metric_names import COUNTER_FIELDS
+
+#: The MetricsCounters field names, re-exported so metrics consumers can
+#: iterate the paper counters without importing the storage layer (and so
+#: this module and repro.storage.counters share one source of truth).
+PAPER_COUNTER_FIELDS = COUNTER_FIELDS
+
 #: Histogram bucket upper bounds in seconds: 2**i microseconds.
 BUCKET_BOUNDS: Tuple[float, ...] = tuple((1 << i) * 1e-6 for i in range(25))
 
@@ -62,6 +69,36 @@ class Counter:
 
     @property
     def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A named value that can move in either direction.
+
+    Used for the structural health telemetry (occupancy, overlap, depth
+    distributions) and the ``repro_build_info`` info-gauge: quantities
+    that are *states*, not accumulations, so a Counter's monotonicity
+    would be wrong for them.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
         return self._value
 
 
@@ -231,6 +268,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
+        self._gauges: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Gauge] = {}
         self._histograms: Dict[
             Tuple[str, Tuple[Tuple[str, str], ...]], LatencyHistogram
         ] = {}
@@ -243,6 +281,14 @@ class MetricsRegistry:
             with self._lock:
                 counter = self._counters.setdefault(key, Counter(name, key[1]))
         return counter
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(key, Gauge(name, key[1]))
+        return gauge
 
     def histogram(self, name: str, **labels: str) -> LatencyHistogram:
         key = (name, _label_key(labels))
@@ -258,6 +304,10 @@ class MetricsRegistry:
         with self._lock:
             return list(self._counters.values())
 
+    def gauges(self) -> List[Gauge]:
+        with self._lock:
+            return list(self._gauges.values())
+
     def histograms(self) -> List[LatencyHistogram]:
         with self._lock:
             return list(self._histograms.values())
@@ -266,19 +316,28 @@ class MetricsRegistry:
         """Drop every metric (test isolation; never called in service)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def render_json(self) -> Dict[str, Any]:
-        out: Dict[str, Any] = {"counters": [], "histograms": []}
+        out: Dict[str, Any] = {"counters": [], "gauges": [], "histograms": []}
         for counter in self.counters():
             out["counters"].append(
                 {
                     "name": counter.name,
                     "labels": dict(counter.labels),
                     "value": counter.value,
+                }
+            )
+        for gauge in self.gauges():
+            out["gauges"].append(
+                {
+                    "name": gauge.name,
+                    "labels": dict(gauge.labels),
+                    "value": gauge.value,
                 }
             )
         for hist in self.histograms():

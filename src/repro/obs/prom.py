@@ -32,7 +32,23 @@ HELP_TEXT = {
     "repro_cache_events_total": "Result-cache lookups by outcome (hit/miss).",
     "repro_slow_queries_total": "Queries that breached the slow-query threshold.",
     "repro_traces_total": "Traces captured by the tracer.",
+    "repro_trace_dropped_total": "Finished traces evicted from the tracer's ring buffer.",
     "repro_op_latency_seconds": "End-to-end latency of QueryEngine.execute, by op.",
+    "repro_build_info": "Constant 1; build metadata in the labels (version, git_sha, page_size, grid_bits).",
+    "repro_index_height": "Height of the served index (levels, root included).",
+    "repro_index_pages": "Pages occupied by the served index.",
+    "repro_index_entries": "Index entries (leaf tuples / q-edges); exceeds segments under duplication.",
+    "repro_index_segments": "Distinct segments stored in the served index.",
+    "repro_index_avg_leaf_occupancy": "Mean leaf fill fraction (entries / capacity) over all leaves.",
+    "repro_index_node_occupancy": "Node count per fill-fraction bucket (trees).",
+    "repro_index_overlap_area": "Total pairwise overlap area of sibling directory rectangles.",
+    "repro_index_dead_space_ratio": "Fraction of leaf MBR area not covered by entry MBRs.",
+    "repro_index_duplication_factor": "Entries per distinct segment (R+ tiling / PMR q-edge duplication).",
+    "repro_index_block_depth": "Leaf-block count per decomposition depth (PMR).",
+    "repro_index_split_pressure": "Fraction of splittable leaf blocks at or above the split threshold (PMR).",
+    "repro_index_avg_bucket_count": "Mean q-edges per non-empty leaf bucket (PMR).",
+    "repro_index_btree_height": "Height of the locational-code B-tree (PMR).",
+    "repro_index_health_refreshes_total": "Structural health recomputations, by kind.",
 }
 
 
@@ -76,6 +92,12 @@ def render_prom(registry) -> str:
         header(counter.name, "counter")
         lines.append(
             f"{counter.name}{_format_labels(counter.labels)} {counter.value}"
+        )
+    for gauge in sorted(registry.gauges(), key=lambda g: (g.name, g.labels)):
+        header(gauge.name, "gauge")
+        lines.append(
+            f"{gauge.name}{_format_labels(gauge.labels)} "
+            f"{_format_value(gauge.value)}"
         )
     for hist in sorted(registry.histograms(), key=lambda h: (h.name, h.labels)):
         header(hist.name, "histogram")

@@ -87,8 +87,18 @@ class Tracer:
         self.max_events = max_events
         self.started = 0
         self.finished = 0
+        #: Finished traces pushed out of the ring by newer ones: the
+        #: observer's own saturation, mirrored into the registry as
+        #: ``repro_trace_dropped_total`` at export time.
+        self.evicted = 0
+        #: Count of threads with an EXPLAIN profile attached. Checked as
+        #: ``if TRACER.profiling:`` on query entry -- one attribute load,
+        #: like ``enabled`` -- so the plain path never touches the
+        #: thread-local.
+        self.profiling = 0
         self._ring: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
         self._ring_lock = threading.Lock()
+        self._profiling_lock = threading.Lock()
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -161,6 +171,8 @@ class Tracer:
             root["error"] = error
         self._local.stack = None
         with self._ring_lock:
+            if len(self._ring) == self.capacity:
+                self.evicted += 1  # the append below displaces the oldest
             self._ring.append(root)
             self.finished += 1
         return root
@@ -230,6 +242,32 @@ class Tracer:
         stack[-1]["spans"].append(record)
 
     # ------------------------------------------------------------------
+    # EXPLAIN profiles (thread-local attribution sinks)
+    # ------------------------------------------------------------------
+    def attach_profile(self, profile: Any) -> None:
+        """Attach an EXPLAIN profile to the calling thread.
+
+        Core traversal call sites fetch it with :meth:`current_profile`
+        (guarded by the ``profiling`` fast-path flag) and charge their
+        per-level work into it -- the span context carries the profile,
+        so attribution needs no new globals and threads cannot mix
+        profiles. Must be paired with :meth:`detach_profile` in a
+        ``finally`` block.
+        """
+        self._local.profile = profile
+        with self._profiling_lock:
+            self.profiling += 1
+
+    def detach_profile(self) -> None:
+        self._local.profile = None
+        with self._profiling_lock:
+            self.profiling -= 1
+
+    def current_profile(self) -> Any:
+        """The profile attached to this thread, or None."""
+        return getattr(self._local, "profile", None)
+
+    # ------------------------------------------------------------------
     # Reading traces back
     # ------------------------------------------------------------------
     def recent(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
@@ -250,6 +288,7 @@ class Tracer:
             "buffered": buffered,
             "started": self.started,
             "finished": self.finished,
+            "evicted": self.evicted,
         }
 
 

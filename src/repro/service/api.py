@@ -315,6 +315,49 @@ class Trace:
         return {} if self.n is None else {"n": self.n}
 
 
+#: Ops EXPLAIN can wrap: the read queries whose traversals are profiled.
+EXPLAIN_OPS = ("point", "window", "nearest")
+
+
+@dataclass(frozen=True, slots=True)
+class Explain:
+    """Run a read query with full per-level cost attribution.
+
+    Wraps a typed :class:`PointQuery` / :class:`WindowQuery` /
+    :class:`NearestQuery` (wire shape: ``{"op": "explain", "query":
+    {"op": "window", ...}}``). The wrapped query executes for real --
+    same traversal, same counters charged to the session -- but bypasses
+    the result cache and returns the structured plan/profile instead of
+    the bare result.
+    """
+
+    OP: ClassVar[str] = "explain"
+
+    query: Any
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, (PointQuery, WindowQuery, NearestQuery)):
+            raise ProtocolError(
+                f"explain wraps one of ops {EXPLAIN_OPS}, got "
+                f"{type(self.query).__name__}"
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        out = {"query_op": self.query.OP}
+        out.update(self.query.describe())
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class Health:
+    """Recompute and return the served index's structural health."""
+
+    OP: ClassVar[str] = "health"
+
+    def describe(self) -> Dict[str, Any]:
+        return {}
+
+
 @dataclass(frozen=True, slots=True)
 class Metrics:
     """Export the process-wide metrics registry."""
@@ -346,6 +389,8 @@ REQUEST_TYPES = (
     Check,
     Trace,
     Metrics,
+    Explain,
+    Health,
 )
 
 #: Ops allowed inside a batch: reads are Morton-schedulable, mutations
@@ -435,6 +480,21 @@ def parse_request(raw: Dict[str, Any]) -> Any:
         return Trace(n=raw.get("n"))
     if op == "metrics":
         return Metrics(format=raw.get("format", "json"))
+    if op == "explain":
+        inner_raw = _require(raw, "query")
+        if not isinstance(inner_raw, dict):
+            raise ProtocolError(
+                f"field 'query' must be a request object, got "
+                f"{type(inner_raw).__name__}"
+            )
+        if inner_raw.get("op") not in EXPLAIN_OPS:
+            raise ProtocolError(
+                f"explain wraps one of ops {EXPLAIN_OPS}, got "
+                f"{inner_raw.get('op')!r}"
+            )
+        return Explain(parse_request(inner_raw))
+    if op == "health":
+        return Health()
     raise ProtocolError(f"unknown op {op!r}", code="unknown_op")
 
 

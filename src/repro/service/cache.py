@@ -46,6 +46,17 @@ class ResultCache:
             self.hits += 1
             return True, value
 
+    def peek(self, key: Hashable) -> bool:
+        """Membership without counting or LRU movement.
+
+        EXPLAIN uses this to report whether the query's canonical key is
+        cached while bypassing the cache entirely -- a peek must not
+        perturb the hit/miss tallies or the eviction order the live
+        traffic sees.
+        """
+        with self._lock:
+            return key in self._entries
+
     def store(self, key: Hashable, value: Any) -> None:
         if self.capacity == 0:
             return

@@ -53,8 +53,12 @@ from repro.core.queries import (
     segments_at_point,
     window_query,
 )
+from repro.core.interface import WORLD_DEPTH
 from repro.errors import NotDurableError, ProtocolError
 from repro.geometry import Point, Rect, Segment
+from repro.obs.buildinfo import publish_build_info
+from repro.obs.explain import ExplainProfile
+from repro.obs.health import publish_health
 from repro.obs.metrics import MetricsRegistry, SlowQueryLog, get_registry
 from repro.obs.trace import TRACER
 from repro.service.api import (
@@ -62,6 +66,8 @@ from repro.service.api import (
     Check,
     Checkpoint,
     Delete,
+    Explain,
+    Health,
     Insert,
     Metrics,
     NearestQuery,
@@ -70,6 +76,7 @@ from repro.service.api import (
     Trace,
     WindowQuery,
 )
+from repro.metric_names import COUNTER_FIELDS
 from repro.storage.counters import MetricsCounters
 from repro.storage.latch import Latch
 
@@ -84,16 +91,13 @@ class QuerySession:
         self.cache_hits = 0
 
     def stats(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "queries": self.queries,
             "cache_hits": self.cache_hits,
-            "disk_accesses": self.counters.disk_accesses,
-            "disk_writes": self.counters.disk_writes,
-            "buffer_hits": self.counters.buffer_hits,
-            "segment_comps": self.counters.segment_comps,
-            "bbox_comps": self.counters.bbox_comps,
         }
+        out.update(self.counters.as_dict())
+        return out
 
 
 class QueryEngine:
@@ -139,6 +143,15 @@ class QueryEngine:
         )
         self._slow_counter = self.registry.counter("repro_slow_queries_total")
         self._trace_counter = self.registry.counter("repro_traces_total")
+        self._trace_dropped_counter = self.registry.counter(
+            "repro_trace_dropped_total"
+        )
+        publish_build_info(
+            self.registry, page_size=self.ctx.page_size, grid_bits=WORLD_DEPTH
+        )
+        # Seed the structural-health gauges from the opening state; later
+        # refreshes happen on checkpoint, the health op, and prom export.
+        self.refresh_health()
 
     @property
     def durable(self) -> bool:
@@ -255,33 +268,30 @@ class QueryEngine:
             )
         counter.inc()
 
-    def _dispatch(self, request, session: Optional[QuerySession]):
+    def _read_thunk(self, request) -> Tuple[Any, Any]:
+        """(cache key, traversal thunk) for a typed read query.
+
+        Shared by the plain dispatch path and EXPLAIN, so an explained
+        query runs exactly the traversal the ordinary op would.
+        """
         if isinstance(request, PointQuery):
-            return self._run(
-                request.cache_key(),
-                session,
-                request.use_cache,
-                lambda: segments_at_point(
-                    self.index, Point(request.x, request.y)
-                ),
+            return request.cache_key(), lambda: segments_at_point(
+                self.index, Point(request.x, request.y)
             )
         if isinstance(request, WindowQuery):
             rect = Rect(request.x1, request.y1, request.x2, request.y2)
-            return self._run(
-                request.cache_key(),
-                session,
-                request.use_cache,
-                lambda: window_query(self.index, rect, mode=request.mode),
+            return request.cache_key(), lambda: window_query(
+                self.index, rect, mode=request.mode
             )
         if isinstance(request, NearestQuery):
-            return self._run(
-                request.cache_key(),
-                session,
-                request.use_cache,
-                lambda: nearest_k_segments(
-                    self.index, Point(request.x, request.y), request.k
-                ),
+            return request.cache_key(), lambda: nearest_k_segments(
+                self.index, Point(request.x, request.y), request.k
             )
+        raise ProtocolError(f"not a read query: {type(request).__name__}")
+
+    def _dispatch(self, request, session: Optional[QuerySession]):
+        if isinstance(request, (PointQuery, WindowQuery, NearestQuery)):
+            return self._run(request, session)
         if isinstance(request, BatchRequest):
             return self.batch.execute(
                 list(request.requests),
@@ -305,8 +315,15 @@ class QueryEngine:
         if isinstance(request, Metrics):
             self.sync_mirrored_counters()
             if request.format == "prom":
+                # The prom export is the scrape path: serve the gauges
+                # freshly recomputed, like every other family.
+                self.refresh_health()
                 return self.registry.render_prom()
             return self.registry.render_json()
+        if isinstance(request, Explain):
+            return self._explain(request, session)
+        if isinstance(request, Health):
+            return self.refresh_health()
         raise ProtocolError(
             f"unknown request type {type(request).__name__}", code="unknown_op"
         )
@@ -322,6 +339,11 @@ class QueryEngine:
         the duration, then the scratch deltas are merged into both the
         session counters and the engine totals. The swap is safe because
         it happens under the same latch that serializes all pool traffic.
+
+        Yields the scratch set: EXPLAIN reads the per-call deltas off it
+        after the block exits (the merge leaves the scratch intact), so
+        its "observed" figures are exactly what this query was charged --
+        no second query, no race with concurrent sessions.
         """
         with self.latch:
             ctx, pool = self.ctx, self.ctx.pool
@@ -329,19 +351,21 @@ class QueryEngine:
             saved_ctx, saved_pool = ctx.counters, pool.counters
             ctx.counters = pool.counters = scratch
             try:
-                yield
+                yield scratch
             finally:
                 ctx.counters, pool.counters = saved_ctx, saved_pool
                 session.counters.merge(scratch)
                 self.totals.merge(scratch)
 
-    def _run(self, key, session: Optional[QuerySession], use_cache: bool, thunk):
+    def _run(self, request, session: Optional[QuerySession]):
         if session is None:
             session = self.session("default")
         session.queries += 1
+        use_cache = request.use_cache
         if use_cache:
             # The cache keeps its own hit/miss tally under the lock it
             # takes anyway; the registry mirrors are synced at export.
+            key = request.cache_key()
             hit, value = self.cache.lookup(key)
             if hit:
                 session.cache_hits += 1
@@ -350,6 +374,9 @@ class QueryEngine:
                 return value
             if TRACER.enabled:
                 TRACER.event("cache_miss")
+        # Only a miss pays for building the traversal closure; a hit
+        # returns above having allocated nothing but the cache key.
+        _, thunk = self._read_thunk(request)
         if TRACER.enabled:
             with TRACER.span("traverse"):
                 with self._attributed(session):
@@ -360,6 +387,81 @@ class QueryEngine:
         if use_cache:
             self.cache.store(key, value)
         return value
+
+    # ------------------------------------------------------------------
+    # EXPLAIN and structural health
+    # ------------------------------------------------------------------
+    def _explain(self, request: Explain, session: Optional[QuerySession]):
+        """Run a read query with per-level attribution attached.
+
+        The inner query executes through the *same* cache-key/thunk pair
+        the plain dispatch uses, with an :class:`ExplainProfile` parked
+        on this thread; the traversal hooks in the index code charge the
+        live counters through the profile's windows, so the per-level
+        figures are the real charges, not estimates. The cache is
+        bypassed both ways (no lookup, no store) -- EXPLAIN exists to
+        observe the traversal, and a cached answer has none.
+        """
+        if session is None:
+            session = self.session("default")
+        session.queries += 1
+        inner = request.query
+        key, thunk = self._read_thunk(inner)
+        would_hit = self.cache.peek(key)
+        prof = ExplainProfile(inner.OP, self.index.name)
+        wal_before = self.store.stats() if self.store is not None else None
+        start = time.perf_counter()
+        TRACER.attach_profile(prof)
+        try:
+            if TRACER.enabled:
+                with TRACER.span("traverse"):
+                    with self._attributed(session) as scratch:
+                        value = thunk()
+            else:
+                with self._attributed(session) as scratch:
+                    value = thunk()
+        finally:
+            TRACER.detach_profile()
+        elapsed = time.perf_counter() - start
+        observed = scratch.snapshot()
+        attributed = prof.attributed()
+        observed_dict = observed.as_dict()
+        exact = all(
+            attributed[name] == observed_dict[name] for name in COUNTER_FIELDS
+        )
+        report = {
+            "op": request.OP,
+            "args": inner.describe(),
+            "plan": prof.to_dict(),
+            "observed": observed_dict,
+            "exact": exact,
+            "result_count": len(value),
+            "elapsed_ms": round(elapsed * 1e3, 3),
+            "cache": {"would_hit": would_hit, "bypassed": True},
+        }
+        if not exact:
+            report["unattributed"] = {
+                name: observed_dict[name] - attributed[name]
+                for name in COUNTER_FIELDS
+                if observed_dict[name] != attributed[name]
+            }
+        if wal_before is not None:
+            wal_after = self.store.stats()
+            report["wal"] = {
+                "appends": wal_after["log_appends"] - wal_before["log_appends"],
+                "fsyncs": wal_after["fsyncs"] - wal_before["fsyncs"],
+            }
+        return report
+
+    def refresh_health(self) -> dict:
+        """Recompute and publish the structural-health gauges.
+
+        Walks the index via the uncounted ``disk.peek`` bypass under the
+        latch, so a refresh moves no session counter, no pool statistic,
+        and no paper metric -- only the ``repro_index_*`` gauges.
+        """
+        with self.latch:
+            return publish_health(self.index, self.registry)
 
     # ------------------------------------------------------------------
     # Read queries (thin wrappers over execute)
@@ -509,7 +611,11 @@ class QueryEngine:
         if session is None:
             session = self.session("checkpoint")
         with self._attributed(session):
-            return self.store.checkpoint(_crash_point=_crash_point)
+            result = self.store.checkpoint(_crash_point=_crash_point)
+        # The checkpoint just rewrote the snapshot from the live pages;
+        # re-derive the structural gauges from the state it captured.
+        self.refresh_health()
+        return result
 
     # ------------------------------------------------------------------
     # Operations
@@ -545,6 +651,7 @@ class QueryEngine:
         """
         self._cache_hit_counter.advance_to(self.cache.hits)
         self._cache_miss_counter.advance_to(self.cache.misses)
+        self._trace_dropped_counter.advance_to(TRACER.evicted)
 
     def stats(self) -> dict:
         """A full observability snapshot for the server's stats op."""
@@ -560,13 +667,7 @@ class QueryEngine:
                     "height": self.index.height(),
                     "pages": self.index.page_count(),
                 },
-                "totals": {
-                    "disk_accesses": self.totals.disk_accesses,
-                    "disk_writes": self.totals.disk_writes,
-                    "buffer_hits": self.totals.buffer_hits,
-                    "segment_comps": self.totals.segment_comps,
-                    "bbox_comps": self.totals.bbox_comps,
-                },
+                "totals": self.totals.as_dict(),
                 "pool": {
                     "capacity": pool.capacity,
                     "resident": len(pool),

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.metric_names import BUFFER_HITS, DISK_ACCESSES
 from repro.obs.trace import TRACER
 from repro.service.batch import BatchExecutor, Request
 from repro.service.engine import QueryEngine
@@ -256,8 +257,8 @@ def format_bench_report(report: BenchReport) -> str:
         f"{report.cache['misses']} misses "
         f"(hit rate {report.cache['hit_rate']:.0%}, "
         f"{report.cache['invalidations']} invalidations)",
-        f"  disk accesses   {report.totals['disk_accesses']} "
-        f"(buffer hits {report.totals['buffer_hits']})",
+        f"  disk accesses   {report.totals[DISK_ACCESSES]} "
+        f"(buffer hits {report.totals[BUFFER_HITS]})",
         f"  latch           {report.latch['acquisitions']} acquisitions, "
         f"{report.latch['contended']} contended",
         f"  counters        per-session sums match totals: "

@@ -21,6 +21,9 @@ shapes, and error codes are in ``docs/architecture.md``)::
     {"op": "check"}
     {"op": "trace", "n": 5}
     {"op": "metrics", "format": "prom"}
+    {"op": "explain", "query": {"op": "window", "x1": 0, "y1": 0,
+                                "x2": 200, "y2": 200}}
+    {"op": "health"}
 
 A request may pin the protocol version with ``"v": 1``; the server
 echoes ``"v"`` back on that reply (a version mismatch is a ``bad_args``
@@ -49,6 +52,7 @@ import threading
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ProtocolError
+from repro.metric_names import DISK_ACCESSES
 from repro.service.api import parse_request, request_version
 from repro.service.engine import QueryEngine
 
@@ -163,7 +167,7 @@ class MapServer(socketserver.ThreadingTCPServer):
             return {
                 "results": result.results,
                 "order": result.order,
-                "disk_accesses": result.disk_accesses,
+                DISK_ACCESSES: result.disk_accesses,
             }
         return result
 

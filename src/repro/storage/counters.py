@@ -1,9 +1,16 @@
-"""Measurement counters for the paper's three tabulated quantities."""
+"""Measurement counters for the paper's three tabulated quantities.
+
+Field names are shared with every reporting layer through
+:mod:`repro.metric_names` -- the one place they may be spelled as string
+literals (lint rule RP03 enforces this).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import Dict, NamedTuple
+
+from repro.metric_names import COUNTER_FIELDS, DISK_ACCESSES
 
 
 class MetricsSnapshot(NamedTuple):
@@ -19,6 +26,12 @@ class MetricsSnapshot(NamedTuple):
     def disk_accesses(self) -> int:
         """The paper's headline metric: pages read that were not resident."""
         return self.disk_reads
+
+    def as_dict(self) -> Dict[str, int]:
+        """The five fields plus the reporting alias, keyed by canonical name."""
+        out = {name: getattr(self, name) for name in COUNTER_FIELDS}
+        out[DISK_ACCESSES] = self.disk_accesses
+        return out
 
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":  # type: ignore[override]
         return MetricsSnapshot(
@@ -62,6 +75,10 @@ class MetricsCounters:
     buffer_hits: int = 0
     segment_comps: int = 0
     bbox_comps: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The five fields plus the reporting alias, keyed by canonical name."""
+        return self.snapshot().as_dict()
 
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(

@@ -86,6 +86,34 @@ def test_rp03_merge_is_the_sanctioned_path():
     assert lint_source("session.counters.merge(scratch)\n", SERVICE) == []
 
 
+def test_rp03_counter_name_string_literal_flagged():
+    src = 'out = {"segment_comps": delta.segment_comps}\n'
+    assert rules_of(lint_source(src, SERVICE)) == {RP03}
+    assert rules_of(lint_source('x["disk_accesses"]\n', CORE)) == {RP03}
+
+
+def test_rp03_counter_name_allowed_in_metric_names_module():
+    src = 'SEGMENT_COMPS = "segment_comps"\n'
+    assert lint_source(src, "src/repro/metric_names.py") == []
+
+
+def test_rp03_counter_name_in_docstring_is_exempt():
+    src = (
+        'def f():\n'
+        '    """Reports disk_reads and the segment_comps counter."""\n'
+        '    return 0\n'
+    )
+    assert lint_source(src, SERVICE) == []
+
+
+def test_rp03_imported_constant_is_the_sanctioned_spelling():
+    src = (
+        "from repro.metric_names import SEGMENT_COMPS\n"
+        "out = {SEGMENT_COMPS: delta.segment_comps}\n"
+    )
+    assert lint_source(src, SERVICE) == []
+
+
 # ----------------------------------------------------------------------
 # RP04: exception swallowing
 # ----------------------------------------------------------------------

@@ -1,0 +1,114 @@
+"""The perf-baseline record and its regression gate.
+
+The gate only compares deterministic counters, so two runs of the same
+seeded workload -- in the same process or across machines -- must
+produce identical gated values; wall-clock may drift and must only warn.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    compare_records,
+    load_record,
+    run_bench,
+    validate_record,
+    write_record,
+)
+from repro.bench.compare import EXIT_INCOMPARABLE, EXIT_OK, EXIT_REGRESSION
+from repro.bench.runner import BENCH_STRUCTURES, BENCH_WORKLOADS
+from repro.metric_names import DISK_ACCESSES, PAPER_METRICS
+
+#: Tiny but real workload so the whole module runs in seconds.
+SMALL_PARAMS = {"county": "cecil", "scale": 0.01, "n_queries": 5, "seed": 7}
+
+
+@pytest.fixture(scope="module")
+def record():
+    return run_bench(SMALL_PARAMS)
+
+
+class TestRecordSchema:
+    def test_fresh_record_validates(self, record):
+        assert validate_record(record) == []
+        assert record["schema_version"] == BENCH_SCHEMA_VERSION
+        assert isinstance(record["git_sha"], str)
+
+    def test_every_structure_and_workload_present(self, record):
+        for name in BENCH_STRUCTURES:
+            entry = record["structures"][name]
+            assert set(entry["workloads"]) == set(BENCH_WORKLOADS)
+            for metric in PAPER_METRICS:
+                assert isinstance(entry["totals"][metric], int)
+                assert entry["totals"][metric] == sum(
+                    entry["workloads"][w][metric] for w in BENCH_WORKLOADS
+                )
+
+    def test_validator_catches_damage(self, record):
+        assert validate_record([]) != []
+        assert validate_record({"kind": "nope"}) != []
+        broken = copy.deepcopy(record)
+        del broken["structures"]["PMR"]
+        assert any("PMR" in p for p in validate_record(broken))
+        broken = copy.deepcopy(record)
+        broken["structures"]["R*"]["totals"][DISK_ACCESSES] = 1.5
+        assert any(DISK_ACCESSES in p for p in validate_record(broken))
+
+    def test_write_and_load_round_trip(self, record, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        write_record(record, path)
+        assert load_record(path) == record
+        with open(path) as fh:  # committed baselines must be stable JSON
+            assert json.load(fh) == record
+
+
+class TestRegressionGate:
+    def test_identical_records_pass(self, record):
+        code, lines = compare_records(record, record, tolerance=0.10)
+        assert code == EXIT_OK
+        assert any("no counter regressed" in line for line in lines)
+
+    def test_rerun_is_deterministic(self, record):
+        fresh = run_bench(SMALL_PARAMS)
+        code, _ = compare_records(record, fresh, tolerance=0.0)
+        assert code == EXIT_OK
+
+    def test_doctored_twenty_percent_worse_fails(self, record):
+        bad = copy.deepcopy(record)
+        for name in BENCH_STRUCTURES:
+            totals = bad["structures"][name]["totals"]
+            totals[DISK_ACCESSES] = int(totals[DISK_ACCESSES] * 1.2) + 1
+        code, lines = compare_records(record, bad, tolerance=0.10)
+        assert code == EXIT_REGRESSION
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_within_tolerance_passes(self, record):
+        near = copy.deepcopy(record)
+        totals = near["structures"]["R*"]["totals"]
+        totals[DISK_ACCESSES] = int(totals[DISK_ACCESSES] * 1.05)
+        code, _ = compare_records(record, near, tolerance=0.10)
+        assert code == EXIT_OK
+
+    def test_improvement_passes_and_is_reported(self, record):
+        better = copy.deepcopy(record)
+        totals = better["structures"]["R*"]["totals"]
+        totals[DISK_ACCESSES] = max(0, totals[DISK_ACCESSES] - 1)
+        code, lines = compare_records(record, better, tolerance=0.10)
+        assert code == EXIT_OK
+        assert any("improved" in line for line in lines)
+
+    def test_param_mismatch_is_incomparable_not_regression(self, record):
+        other = copy.deepcopy(record)
+        other["params"]["seed"] = 8
+        code, lines = compare_records(record, other, tolerance=0.10)
+        assert code == EXIT_INCOMPARABLE
+        assert any("not comparable" in line for line in lines)
+
+    def test_schema_mismatch_is_incomparable(self, record):
+        other = copy.deepcopy(record)
+        other["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        code, _ = compare_records(record, other, tolerance=0.10)
+        assert code == EXIT_INCOMPARABLE

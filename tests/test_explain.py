@@ -1,0 +1,208 @@
+"""EXPLAIN: exact per-level attribution, goldens, and invariance.
+
+The headline property is *exactness by construction*: the profiled
+traversal paths perform identical pool traffic and counter charges, in
+identical order, as the plain paths -- so summing a profile's buckets
+reproduces the engine's counters to the unit, and an explained query
+costs exactly what the plain query would have.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import check_index
+from repro.metric_names import COUNTER_FIELDS
+from repro.obs import MetricsRegistry, format_explain, merge_attributed
+from repro.service import QueryEngine
+from repro.service.api import Explain, NearestQuery, PointQuery, WindowQuery
+from repro.storage.counters import MetricsCounters
+
+from tests.conftest import build_index, lattice_map
+
+EXPLAIN_STRUCTURES = ["R*", "R+", "PMR"]
+
+#: One fixed query on the fixed 8x8 lattice, explained from a cold pool.
+GOLDEN_WINDOW = (0, 0, 350, 350)
+
+#: Exact per-level counts for GOLDEN_WINDOW per structure. Regenerate by
+#: running the same query and printing ``report["plan"]["levels"]`` --
+#: any change here means the traversal order or charging moved, which is
+#: exactly what this test exists to catch.
+GOLDEN_LEVELS = {
+    "R*": [
+        {"level": 0, "node_visits": 1, "disk_reads": 1, "bbox_comps": 4,
+         "entries_examined": 4, "entries_matched": 3, "entries_pruned": 1},
+        {"level": 1, "node_visits": 3, "disk_reads": 3, "bbox_comps": 81,
+         "entries_examined": 81, "entries_matched": 18, "entries_pruned": 63},
+    ],
+    "R+": [
+        {"level": 0, "node_visits": 1, "disk_reads": 1, "bbox_comps": 4,
+         "entries_examined": 4, "entries_matched": 1, "entries_pruned": 3},
+        {"level": 1, "node_visits": 1, "disk_reads": 1, "bbox_comps": 25,
+         "entries_examined": 25, "entries_matched": 18, "entries_pruned": 7},
+    ],
+    "PMR": [
+        {"level": 0, "node_visits": 1, "bbox_comps": 0},
+        {"level": 1, "node_visits": 1, "bbox_comps": 0},
+        {"level": 2, "node_visits": 4, "bbox_comps": 0},
+        {"level": 3, "node_visits": 9, "bbox_comps": 9,
+         "entries_examined": 9, "entries_matched": 9},
+    ],
+}
+
+GOLDEN_COUNTS = {
+    "R*": {"candidates": 18, "results": 18, "segment_fetches": 18},
+    "R+": {"candidates": 18, "results": 18, "segment_fetches": 18},
+    "PMR": {
+        "blocks_decoded": 15,
+        "btree_internal_visited": 4,
+        "btree_leaves_scanned": 4,
+        "btree_scans": 4,
+        "candidates": 30,
+        "duplicates_deduped": 12,
+        "results": 18,
+        "segment_fetches": 18,
+    },
+}
+
+
+def make_engine(kind: str) -> QueryEngine:
+    return QueryEngine(
+        build_index(kind, lattice_map(n=8)), registry=MetricsRegistry()
+    )
+
+
+@pytest.fixture(params=EXPLAIN_STRUCTURES)
+def explain_engine(request):
+    return request.param, make_engine(request.param)
+
+
+class TestExactness:
+    def test_all_read_ops_attribute_exactly(self, explain_engine):
+        _, engine = explain_engine
+        for req in (
+            PointQuery(100, 100),
+            WindowQuery(0, 0, 350, 350),
+            NearestQuery(321, 321, k=3),
+        ):
+            report = engine.execute(Explain(req))
+            assert report["exact"] is True, report.get("unattributed")
+            assert "unattributed" not in report
+            assert report["plan"]["levels"], "profile recorded no levels"
+
+    def test_summed_profiles_reproduce_engine_aggregates(self, explain_engine):
+        """Acceptance: sum of per-level EXPLAIN deltas over a fixed-seed
+        workload == the engine's aggregate counters, to the unit."""
+        _, engine = explain_engine
+        rng = random.Random(1992)
+        reports = []
+        for _ in range(30):
+            roll = rng.random()
+            if roll < 0.34:
+                req = PointQuery(rng.randrange(900), rng.randrange(900))
+            elif roll < 0.67:
+                x, y = rng.randrange(700), rng.randrange(700)
+                req = WindowQuery(x, y, x + 200, y + 200)
+            else:
+                req = NearestQuery(
+                    rng.randrange(900), rng.randrange(900), k=rng.randrange(1, 4)
+                )
+            reports.append(engine.execute(Explain(req)))
+        summed = merge_attributed(reports)
+        totals = engine.totals.as_dict()
+        for name in COUNTER_FIELDS:
+            assert summed[name] == totals[name], name
+
+    def test_explain_charges_exactly_what_plain_query_would(self):
+        """Invariance: an explained query moves every MetricsCounters
+        field identically to the plain query on a twin engine."""
+        for kind in EXPLAIN_STRUCTURES:
+            plain, explained = make_engine(kind), make_engine(kind)
+            plain.cold_start()
+            explained.cold_start()
+            plain.window(0, 0, 350, 350, use_cache=False)
+            explained.execute(Explain(WindowQuery(0, 0, 350, 350)))
+            assert plain.totals == explained.totals, kind
+
+    def test_explain_leaves_fsck_clean(self, explain_engine):
+        _, engine = explain_engine
+        before = [f.to_dict() for f in check_index(engine.index)]
+        engine.execute(Explain(WindowQuery(0, 0, 350, 350)))
+        engine.execute(Explain(NearestQuery(500, 500, k=2)))
+        after = [f.to_dict() for f in check_index(engine.index)]
+        assert before == after
+
+
+class TestGolden:
+    @pytest.mark.parametrize("kind", EXPLAIN_STRUCTURES)
+    def test_fixed_window_per_level_counts(self, kind):
+        engine = make_engine(kind)
+        engine.cold_start()
+        report = engine.execute(Explain(WindowQuery(*GOLDEN_WINDOW)))
+        assert report["exact"] is True
+        assert report["result_count"] == 18
+        levels = report["plan"]["levels"]
+        golden = GOLDEN_LEVELS[kind]
+        assert len(levels) == len(golden)
+        for got, want in zip(levels, golden):
+            for key, value in want.items():
+                assert got[key] == value, (kind, got["level"], key)
+        assert report["plan"]["counts"] == GOLDEN_COUNTS[kind]
+
+    def test_golden_attribution_totals(self):
+        engine = make_engine("R*")
+        engine.cold_start()
+        report = engine.execute(Explain(WindowQuery(*GOLDEN_WINDOW)))
+        attributed = report["plan"]["attributed"]
+        assert attributed["disk_reads"] == 5
+        assert attributed["bbox_comps"] == 85
+        assert attributed["segment_comps"] == 18
+        assert attributed["disk_accesses"] == attributed["disk_reads"]
+
+
+class TestCacheAndSessions:
+    def test_explain_bypasses_cache_but_reports_would_hit(self):
+        engine = make_engine("R*")
+        session = engine.session("probe")
+        report = engine.execute(
+            Explain(WindowQuery(0, 0, 350, 350)), session=session
+        )
+        assert report["cache"] == {"would_hit": False, "bypassed": True}
+        engine.window(0, 0, 350, 350, session=session)  # now cached
+        hits_before = engine.cache.hits
+        report = engine.execute(
+            Explain(WindowQuery(0, 0, 350, 350)), session=session
+        )
+        assert report["cache"]["would_hit"] is True
+        assert engine.cache.hits == hits_before  # peek counted nothing
+
+    def test_explain_is_attributed_to_the_session(self):
+        engine = make_engine("R+")
+        session = engine.session("alice")
+        engine.execute(Explain(PointQuery(100, 100)), session=session)
+        assert session.queries == 1
+        assert engine.counters_consistent()
+        total = MetricsCounters()
+        total.merge(session.counters)
+        assert total == engine.totals
+
+
+class TestRendering:
+    def test_format_explain_mentions_levels_and_exactness(self):
+        engine = make_engine("PMR")
+        report = engine.execute(Explain(WindowQuery(0, 0, 350, 350)))
+        text = format_explain(report)
+        assert "EXPLAIN window on PMR" in text
+        assert "level 0" in text
+        assert "segment_table" in text
+        assert "attribution exact: True" in text
+
+    def test_wire_parse_rejects_non_read_inner_op(self):
+        from repro.errors import ProtocolError
+        from repro.service.api import parse_request
+
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "explain", "query": {"op": "stats"}})
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "explain"})
