@@ -38,10 +38,28 @@ The observability layer (:mod:`repro.obs`) adds tracing and metrics::
     python -m repro bench --compare benchmarks/results/BENCH_baseline.json
                                                  # regression gate (exit 1)
 
+The sharding layer (:mod:`repro.shard`) splits the map across workers::
+
+    python -m repro shard-init --root shards/ --n-shards 4
+                                                 # manifest + one store per shard
+    python -m repro shard-worker --root shards/ --shard s1
+                                                 # serve one shard (writes shard.addr)
+    python -m repro route --root shards/ --port 8765
+                                                 # scatter-gather router
+    python -m repro shard-split --root shards/ --shard s1
+                                                 # split a hot shard (epoch + 1)
+    python -m repro shard-catchup --root shards/ --shard s1
+                                                 # replay missed mutations from a peer
+    python -m repro bench-serve --connect 127.0.0.1:8765
+                                                 # drive running server(s), round-robin
+    python -m repro bench --routed --json BENCH_shard.json
+                                                 # routed perf-baseline record
+
 The static-analysis layer adds two::
 
     python -m repro check county.snap            # index fsck (snapshot)
     python -m repro check --wal store/           # durable-store fsck
+    python -m repro check --shards shards/       # shard-set fsck (SH rules)
     python -m repro check --county cecil --structure PMR   # fsck a build
     python -m repro lint src/                    # project AST lint
 
@@ -208,6 +226,14 @@ def _cmd_bench_serve(args) -> int:
     from repro.service import bench_serve, format_bench_report
     from repro.storage import CodecError
 
+    connect = None
+    if args.connect:
+        from repro.service.loadgen import parse_address
+
+        try:
+            connect = [parse_address(spec) for spec in args.connect]
+        except ValueError as exc:
+            sys.exit(f"error: {exc}")
     try:
         report = bench_serve(
             county=args.county,
@@ -220,6 +246,7 @@ def _cmd_bench_serve(args) -> int:
             seed=args.seed,
             trace=args.trace,
             slow_ms=args.slow_ms,
+            connect=connect,
         )
     except FileNotFoundError:
         sys.exit(f"error: snapshot not found: {args.snapshot}")
@@ -228,6 +255,135 @@ def _cmd_bench_serve(args) -> int:
     print(format_bench_report(report))
     if report.errors or not report.counters_consistent:
         return 1
+    return 0
+
+
+def _cmd_shard_init(args) -> int:
+    from repro.data import generate_county
+    from repro.errors import CodecError
+    from repro.shard import init_shard_set
+
+    map_data = generate_county(args.county, scale=args.scale)
+    try:
+        smap = init_shard_set(
+            args.root,
+            args.structure,
+            map_data=map_data,
+            n_shards=args.n_shards,
+            order=args.order,
+            page_size=args.page_size,
+            pool_pages=args.pool_pages,
+        )
+    except (ValueError, CodecError) as exc:
+        sys.exit(f"error: cannot initialise shard set: {exc}")
+    print(
+        f"initialised {len(smap.shards)}-shard {args.structure} set over "
+        f"{args.county} (scale {args.scale}) at {args.root} "
+        f"(epoch {smap.epoch}, Hilbert order {smap.order})"
+    )
+    for spec in smap.shards:
+        print(f"  {spec.shard_id}: cells [{spec.lo}, {spec.hi})")
+    return 0
+
+
+def _cmd_shard_worker(args) -> int:
+    from repro.errors import WalError
+    from repro.shard import serve_shard
+
+    try:
+        server = serve_shard(
+            args.root,
+            args.shard,
+            host=args.host,
+            port=args.port,
+            group_commit=args.group_commit,
+            slow_ms=args.slow_ms,
+        )
+    except (FileNotFoundError, KeyError, WalError) as exc:
+        sys.exit(f"error: cannot open shard {args.shard}: {exc}")
+    host, port = server.address
+    print(
+        f"shard {args.shard} of {args.root} serving on {host}:{port} "
+        f"(address published to shard.addr)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        server.engine.store.close()
+    return 0
+
+
+def _cmd_route(args) -> int:
+    from repro.errors import WalError
+    from repro.shard import ShardRouter
+
+    try:
+        router = ShardRouter(
+            args.root, host=args.host, port=args.port, timeout=args.timeout
+        )
+    except (FileNotFoundError, ValueError, WalError) as exc:
+        sys.exit(f"error: cannot open shard set {args.root}: {exc}")
+    host, port = router.address
+    print(
+        f"routing {len(router.clients)} shard(s) of {args.root} on "
+        f"{host}:{port} (epoch {router.shard_map.epoch}) -- "
+        f"newline-delimited JSON, same ops as a single server",
+        flush=True,
+    )
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        router.close()
+    return 0
+
+
+def _cmd_shard_split(args) -> int:
+    from repro.errors import WalError
+    from repro.shard import split_shard
+
+    try:
+        result = split_shard(args.root, args.shard)
+    except (FileNotFoundError, KeyError, ValueError, WalError) as exc:
+        sys.exit(f"error: cannot split shard {args.shard}: {exc}")
+    print(
+        f"split {result['parent']} -> "
+        f"{', '.join(c['id'] for c in result['children'])} "
+        f"(epoch {result['epoch']})"
+    )
+    for child in result["children"]:
+        print(
+            f"  {child['id']}: cells [{child['range'][0]}, "
+            f"{child['range'][1]}), {child['indexed']} indexed, "
+            f"{child['replayed_records']} log record(s) replayed"
+        )
+    print(
+        f"retired store left at {result['retired_store']}; start workers "
+        f"for the children and send the router {{\"op\": \"reload\"}}"
+    )
+    return 0
+
+
+def _cmd_shard_catchup(args) -> int:
+    from repro.errors import WalError
+    from repro.shard import catch_up_shard
+
+    try:
+        result = catch_up_shard(
+            args.root, args.shard, donor=args.donor
+        )
+    except (FileNotFoundError, KeyError, ValueError, WalError) as exc:
+        sys.exit(f"error: cannot catch up shard {args.shard}: {exc}")
+    print(
+        f"caught up {result['shard']} from {result['donor']}: "
+        f"{result['caught_up_records']} record(s) above LSN "
+        f"{result['behind_from_lsn']}, {result['indexed']} indexed"
+    )
     return 0
 
 
@@ -334,7 +490,7 @@ def _cmd_bench(args) -> int:
     """Run the fixed benchmark workload; optionally gate on a baseline."""
     import json
 
-    from repro.bench import run_bench, write_record
+    from repro.bench import run_bench, run_shard_bench, write_record
     from repro.bench.compare import (
         EXIT_INCOMPARABLE,
         compare_records,
@@ -348,7 +504,11 @@ def _cmd_bench(args) -> int:
         "n_queries": args.queries,
         "seed": args.seed,
     }
-    record = run_bench(params)
+    if args.routed:
+        params["n_shards"] = args.n_shards
+        record = run_shard_bench(params)
+    else:
+        record = run_bench(params)
     if args.json:
         write_record(record, args.json)
         print(f"wrote {args.json} ({record['git_sha']})")
@@ -382,6 +542,17 @@ def _cmd_check(args) -> int:
     if args.rules:
         print(FSCK_RULES.describe())
         return 0
+    if getattr(args, "shards", None):
+        import os
+
+        from repro.analysis import check_shard_set
+
+        if not os.path.isdir(args.shards):
+            print(f"error: no such directory: {args.shards}", file=sys.stderr)
+            return 2
+        findings = check_shard_set(args.shards)
+        print(format_findings(findings, title=f"fsck shard set {args.shards}"))
+        return 1 if has_errors(findings) else 0
     if getattr(args, "wal", None):
         from repro.analysis import check_durable
 
@@ -530,6 +701,74 @@ def main(argv=None) -> int:
         default=None,
         help="arm the slow-query log at this threshold",
     )
+    p.add_argument(
+        "--connect",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive running server(s) instead of building locally; repeat "
+        "the flag to round-robin client threads across addresses (e.g. a "
+        "shard router plus direct workers)",
+    )
+
+    p = sub.add_parser(
+        "shard-init",
+        help="create a shard set: manifest + one durable store per shard",
+    )
+    _add_common(p)
+    p.add_argument("--structure", default="R*", choices=["R*", "R+", "PMR", "R"])
+    p.add_argument("--root", required=True, help="shard-set directory")
+    p.add_argument("--n-shards", type=int, default=4)
+    p.add_argument(
+        "--order",
+        type=int,
+        default=None,
+        help="Hilbert curve order (default: sized from the segment count)",
+    )
+    p.add_argument("--page-size", type=int, default=1024)
+    p.add_argument("--pool-pages", type=int, default=16)
+
+    p = sub.add_parser(
+        "shard-worker", help="serve one shard of a set (publishes shard.addr)"
+    )
+    p.add_argument("--root", required=True, help="shard-set directory")
+    p.add_argument("--shard", required=True, help="shard id from the manifest")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    p.add_argument("--group-commit", type=int, default=1)
+    p.add_argument("--slow-ms", type=float, default=None)
+
+    p = sub.add_parser(
+        "route", help="scatter-gather router over a shard set's workers"
+    )
+    p.add_argument("--root", required=True, help="shard-set directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-shard request timeout in seconds",
+    )
+
+    p = sub.add_parser(
+        "shard-split",
+        help="split a hot shard into two children (stop its worker first)",
+    )
+    p.add_argument("--root", required=True, help="shard-set directory")
+    p.add_argument("--shard", required=True, help="shard id to split")
+
+    p = sub.add_parser(
+        "shard-catchup",
+        help="replay a lagging shard's missed mutations from a peer's WAL",
+    )
+    p.add_argument("--root", required=True, help="shard-set directory")
+    p.add_argument("--shard", required=True, help="lagging shard id")
+    p.add_argument(
+        "--donor",
+        default=None,
+        help="peer to copy from (default: the peer with the highest LSN)",
+    )
 
     p = sub.add_parser(
         "stats", help="fetch metrics/traces from a running server"
@@ -594,6 +833,19 @@ def main(argv=None) -> int:
         default=0.10,
         help="relative headroom for gated counters (default 10%%)",
     )
+    p.add_argument(
+        "--routed",
+        action="store_true",
+        help="drive the workloads through a sharded service (one shard "
+        "set per structure) instead of bare indexes; emits a "
+        "repro-shard-bench record",
+    )
+    p.add_argument(
+        "--n-shards",
+        type=int,
+        default=4,
+        help="shard count for --routed (part of the record's params)",
+    )
 
     p = sub.add_parser("check", help="static index fsck (no queries executed)")
     _add_common(p)
@@ -611,6 +863,12 @@ def main(argv=None) -> int:
         help="fsck a durable-store directory (rules FS07..FS10 plus the "
         "full checkpoint-snapshot walk)",
     )
+    p.add_argument(
+        "--shards",
+        default=None,
+        help="fsck a shard-set directory (rules SH01..SH05 plus the "
+        "durable-store walk on every member)",
+    )
 
     p = sub.add_parser("lint", help="project AST lint (RP rules)")
     p.add_argument("paths", nargs="*", default=["src/"], help="files or directories")
@@ -624,6 +882,16 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
+    if args.command == "shard-init":
+        return _cmd_shard_init(args)
+    if args.command == "shard-worker":
+        return _cmd_shard_worker(args)
+    if args.command == "route":
+        return _cmd_route(args)
+    if args.command == "shard-split":
+        return _cmd_shard_split(args)
+    if args.command == "shard-catchup":
+        return _cmd_shard_catchup(args)
     if args.command == "checkpoint":
         return _cmd_checkpoint(args)
     if args.command == "recover":

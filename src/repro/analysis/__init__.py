@@ -16,10 +16,16 @@ Two pillars, both producing structured
   extend the fsck to the durability layer (rules FS07..FS10: log
   framing and CRCs, LSN contiguity, checkpoint-manifest vs. snapshot
   vs. log-tail consistency).
+* :mod:`repro.analysis.fsck_shards` -- ``check_shard_set`` extends it
+  again to a sharded deployment (rules SH01..SH05: manifest validity,
+  per-shard store presence, replicated-table agreement, region/index
+  consistency, stale address files), running ``check_durable`` on
+  every member store.
 
-CLI: ``python -m repro check`` (``--wal DIR`` for a durable store) and
-``python -m repro lint``; service hook: ``{"op": "check"}`` against a
-running map server.
+CLI: ``python -m repro check`` (``--wal DIR`` for a durable store,
+``--shards DIR`` for a shard set) and ``python -m repro lint``;
+service hook: ``{"op": "check"}`` against a running map server or
+shard router.
 """
 
 from repro.analysis.findings import (
@@ -33,6 +39,7 @@ from repro.analysis.findings import (
     sort_findings,
 )
 from repro.analysis.fsck import check_index, check_snapshot
+from repro.analysis.fsck_shards import check_shard_set
 from repro.analysis.fsck_wal import check_durable, check_wal
 from repro.analysis.lint import lint_file, lint_paths, lint_source
 
@@ -44,6 +51,7 @@ __all__ = [
     "WARNING",
     "check_durable",
     "check_index",
+    "check_shard_set",
     "check_snapshot",
     "check_wal",
     "format_findings",

@@ -12,6 +12,13 @@ committed ``benchmarks/results/BENCH_baseline.json``.
 Deterministic counters (disk accesses, segment comparisons, bbox
 comparisons) gate; wall-clock numbers are recorded for trending but
 only warn, because CI machines are not a controlled benchmark rig.
+
+``python -m repro bench --routed`` runs the same gate over the sharded
+service instead: one shard set per structure, five workloads through
+the scatter-gather router, counters summed across shards
+(:mod:`repro.bench.shard`, kind ``repro-shard-bench``).  The CI
+``shard-smoke`` job gates it against
+``benchmarks/results/BENCH_shard_baseline.json``.
 """
 
 from repro.bench.compare import compare_records, load_record
@@ -22,13 +29,21 @@ from repro.bench.runner import (
     validate_record,
     write_record,
 )
+from repro.bench.shard import (
+    SHARD_DEFAULT_PARAMS,
+    run_shard_bench,
+    validate_shard_record,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_PARAMS",
+    "SHARD_DEFAULT_PARAMS",
     "compare_records",
     "load_record",
     "run_bench",
+    "run_shard_bench",
     "validate_record",
+    "validate_shard_record",
     "write_record",
 ]

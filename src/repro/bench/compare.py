@@ -18,13 +18,17 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Tuple
 
-from repro.bench.runner import (
-    BENCH_SCHEMA_VERSION,
-    BENCH_STRUCTURES,
-    BENCH_WORKLOADS,
-    validate_record,
-)
+from repro.bench.runner import BENCH_KIND, BENCH_SCHEMA_VERSION, validate_record
+from repro.bench.shard import SHARD_BENCH_KIND, validate_shard_record
 from repro.metric_names import PAPER_METRICS
+
+#: Record kinds the gate can compare, with their validators. A baseline
+#: and a fresh record must share a kind -- an unsharded baseline says
+#: nothing about routed costs, and vice versa.
+VALIDATORS = {
+    BENCH_KIND: validate_record,
+    SHARD_BENCH_KIND: validate_shard_record,
+}
 
 #: Comparison verdict exit codes (the CLI exits with these).
 EXIT_OK = 0
@@ -38,13 +42,18 @@ def load_record(path: str) -> Dict[str, object]:
 
 
 def _gate_points(record: Dict[str, object]):
-    """Yield (label, value) for every gated counter in the record."""
+    """Yield (label, value) for every gated counter in the record.
+
+    Structure and workload names come from the record itself, so the
+    same walk gates both unsharded and routed records (validation has
+    already pinned the kind-specific required sets).
+    """
     structures = record["structures"]
-    for name in BENCH_STRUCTURES:
+    for name in sorted(structures):  # type: ignore[call-overload]
         entry = structures[name]  # type: ignore[index]
         for metric in PAPER_METRICS:
             yield f"{name}/totals/{metric}", int(entry["totals"][metric])
-        for wname in BENCH_WORKLOADS:
+        for wname in sorted(entry["workloads"]):
             w = entry["workloads"][wname]
             for metric in PAPER_METRICS:
                 yield f"{name}/{wname}/{metric}", int(w[metric])
@@ -52,8 +61,8 @@ def _gate_points(record: Dict[str, object]):
 
 def _wall_points(record: Dict[str, object]):
     structures = record["structures"]
-    for name in BENCH_STRUCTURES:
-        for wname in BENCH_WORKLOADS:
+    for name in sorted(structures):  # type: ignore[call-overload]
+        for wname in sorted(structures[name]["workloads"]):  # type: ignore[index]
             wall = structures[name]["workloads"][wname]["wall"]  # type: ignore[index]
             yield f"{name}/{wname}/p50_ms", float(wall["p50_ms"])
 
@@ -70,8 +79,23 @@ def compare_records(
     only zero (any appearance of a brand-new cost is a regression).
     """
     lines: List[str] = []
+    base_kind = baseline.get("kind") if isinstance(baseline, dict) else None
+    fresh_kind = fresh.get("kind") if isinstance(fresh, dict) else None
+    if base_kind != fresh_kind:
+        lines.append(
+            f"kind mismatch: baseline {base_kind!r} vs fresh {fresh_kind!r}; "
+            f"records are not comparable"
+        )
+        return EXIT_INCOMPARABLE, lines
+    validator = VALIDATORS.get(base_kind)  # type: ignore[arg-type]
+    if validator is None:
+        lines.append(
+            f"unknown record kind {base_kind!r} (this tool speaks "
+            f"{sorted(VALIDATORS)})"
+        )
+        return EXIT_INCOMPARABLE, lines
     for label, record in (("baseline", baseline), ("fresh", fresh)):
-        problems = validate_record(record)
+        problems = validator(record)
         if problems:
             lines.append(f"{label} record is invalid:")
             lines.extend(f"  - {p}" for p in problems)
@@ -90,9 +114,15 @@ def compare_records(
         return EXIT_INCOMPARABLE, lines
 
     base_points = dict(_gate_points(baseline))
+    fresh_points = list(_gate_points(fresh))
+    if set(base_points) != {label for label, _ in fresh_points}:
+        lines.append(
+            "structure/workload sets differ; records are not comparable"
+        )
+        return EXIT_INCOMPARABLE, lines
     regressions: List[str] = []
     improvements: List[str] = []
-    for label, value in _gate_points(fresh):
+    for label, value in fresh_points:
         base = base_points[label]
         limit = base * (1.0 + tolerance)
         if value > limit:

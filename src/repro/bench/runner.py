@@ -186,13 +186,27 @@ def run_bench(params: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     }
 
 
-def validate_record(record: object) -> List[str]:
-    """Schema check; returns a list of problems (empty means valid)."""
+def validate_record(
+    record: object,
+    kind: str = BENCH_KIND,
+    required_structures: Sequence[str] = BENCH_STRUCTURES,
+    required_workloads: Sequence[str] = BENCH_WORKLOADS,
+    param_keys: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Schema check; returns a list of problems (empty means valid).
+
+    The defaults validate a ``repro-bench`` record; the routed shard
+    bench reuses the checker with its own ``kind``, structure set, and
+    parameter keys (the record *shape* is shared, so the regression
+    gate in :mod:`repro.bench.compare` speaks both).
+    """
+    if param_keys is None:
+        param_keys = tuple(DEFAULT_PARAMS)
     problems: List[str] = []
     if not isinstance(record, dict):
         return [f"record must be an object, got {type(record).__name__}"]
-    if record.get("kind") != BENCH_KIND:
-        problems.append(f"kind must be {BENCH_KIND!r}, got {record.get('kind')!r}")
+    if record.get("kind") != kind:
+        problems.append(f"kind must be {kind!r}, got {record.get('kind')!r}")
     if record.get("schema_version") != BENCH_SCHEMA_VERSION:
         problems.append(
             f"schema_version must be {BENCH_SCHEMA_VERSION}, "
@@ -204,13 +218,13 @@ def validate_record(record: object) -> List[str]:
     if not isinstance(params, dict):
         problems.append("params must be an object")
     else:
-        for key in DEFAULT_PARAMS:
+        for key in param_keys:
             if key not in params:
                 problems.append(f"params missing {key!r}")
     structures = record.get("structures")
     if not isinstance(structures, dict):
         return problems + ["structures must be an object"]
-    for name in BENCH_STRUCTURES:
+    for name in required_structures:
         entry = structures.get(name)
         if not isinstance(entry, dict):
             problems.append(f"structures missing {name!r}")
@@ -226,7 +240,7 @@ def validate_record(record: object) -> List[str]:
         if not isinstance(workload_out, dict):
             problems.append(f"{name}: workloads must be an object")
             continue
-        for wname in BENCH_WORKLOADS:
+        for wname in required_workloads:
             w = workload_out.get(wname)
             if not isinstance(w, dict):
                 problems.append(f"{name}: workloads missing {wname!r}")

@@ -81,6 +81,35 @@ def hilbert_index(order: int, x: int, y: int) -> int:
     return d
 
 
+def hilbert_point(order: int, d: int) -> Tuple[int, int]:
+    """Inverse of :func:`hilbert_index`: the cell (x, y) at distance ``d``
+    along the Hilbert curve of ``2^order`` cells per side.
+
+    The shard layer uses this to turn a half-open curve-key range back
+    into the set of grid cells it covers, from which a shard's spatial
+    extent is derived.
+    """
+    n = 1 << order
+    if not 0 <= d < n * n:
+        raise ValueError(f"index {d} outside the order-{order} curve")
+    x = y = 0
+    t = d
+    s = 1
+    while s < n:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
 def hilbert_code(bx: int, by: int, depth: int, max_depth: int) -> int:
     """Hilbert-curve analogue of :func:`locational_code`.
 

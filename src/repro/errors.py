@@ -25,6 +25,10 @@ question at the service boundary. This module is the single home:
   :class:`ProtocolError` (it maps to the ``not_durable`` wire code) and
   :class:`RuntimeError` (its historical type, so existing callers'
   ``except RuntimeError`` still works).
+* :class:`ShardUnavailableError` -- the scatter-gather router could not
+  reach a shard worker. A :class:`ProtocolError` carrying the
+  ``shard_unavailable`` wire code plus the failing ``shard_id``, so the
+  error envelope can attribute the failure to the right process.
 
 The old import locations (``repro.storage.CodecError``,
 ``repro.wal.WalError``, ...) re-export these classes, so no caller
@@ -40,6 +44,7 @@ ERROR_CODES = (
     "bad_args",      # a required field is missing or mis-typed
     "unknown_seg",   # a segment id outside the segment table
     "not_durable",   # checkpoint asked of a server without --wal
+    "shard_unavailable",  # the router could not reach a shard worker
     "internal",      # anything else: a server-side bug, not the client
 )
 
@@ -79,3 +84,16 @@ class NotDurableError(ProtocolError, RuntimeError):
 
     def __init__(self, message: str) -> None:
         super().__init__(message, code="not_durable")
+
+
+class ShardUnavailableError(ProtocolError):
+    """The router could not reach (or got no reply from) a shard worker.
+
+    ``shard_id`` names the failing shard so the error envelope can
+    attribute the failure; the router serves this as a structured
+    partial-result error rather than hanging the client connection.
+    """
+
+    def __init__(self, message: str, shard_id: str) -> None:
+        super().__init__(message, code="shard_unavailable")
+        self.shard_id = shard_id

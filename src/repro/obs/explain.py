@@ -258,6 +258,39 @@ def format_explain(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def merge_explain_reports(reports: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-shard explain reports into one routed cost tree.
+
+    ``reports`` maps shard id -> the report that shard's engine produced
+    for the same wrapped query. The merged report keeps every shard's
+    full plan under ``shards`` (per-level attribution is only meaningful
+    per structure instance), sums the ``observed`` counters -- the routed
+    query's true total bill -- and ands the per-shard exactness flags.
+    ``result_count`` sums the per-shard counts *before* the router's
+    seg_id dedup, so it can exceed the deduplicated answer; the router's
+    merge reports the deduplicated length alongside.
+    """
+    if not reports:
+        raise ValueError("no shard reports to merge")
+    shard_ids = sorted(reports)
+    first = reports[shard_ids[0]]
+    observed = dict.fromkeys(COUNTER_FIELDS, 0)
+    for shard_id in shard_ids:
+        obs = reports[shard_id]["observed"]
+        for name in COUNTER_FIELDS:
+            observed[name] += obs[name]
+    observed[DISK_ACCESSES] = observed[DISK_READS]
+    return {
+        "op": first["op"],
+        "args": first["args"],
+        "shards": {shard_id: reports[shard_id] for shard_id in shard_ids},
+        "observed": observed,
+        "exact": all(reports[s]["exact"] for s in shard_ids),
+        "result_count": sum(reports[s]["result_count"] for s in shard_ids),
+        "elapsed_ms": max(reports[s]["elapsed_ms"] for s in shard_ids),
+    }
+
+
 def merge_attributed(reports: List[Dict[str, Any]]) -> Dict[str, int]:
     """Sum the ``attributed`` totals of many explain reports (tests and
     the exactness acceptance check)."""

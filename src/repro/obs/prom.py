@@ -49,6 +49,9 @@ HELP_TEXT = {
     "repro_index_avg_bucket_count": "Mean q-edges per non-empty leaf bucket (PMR).",
     "repro_index_btree_height": "Height of the locational-code B-tree (PMR).",
     "repro_index_health_refreshes_total": "Structural health recomputations, by kind.",
+    "repro_router_requests_total": "Requests served by the shard router, by op and status.",
+    "repro_router_shards": "Shard workers the router currently fans out to.",
+    "repro_router_epoch": "Shard-map epoch the router last loaded.",
 }
 
 
@@ -123,6 +126,53 @@ def render_prom(registry) -> str:
         lines.append(
             f"{hist.name}_count{_format_labels(hist.labels)} {total}"
         )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def merge_prom_texts(texts: Dict[str, str]) -> str:
+    """Merge several Prometheus expositions into one, labelled by shard.
+
+    ``texts`` maps a shard id to that worker's text exposition (the
+    router scrapes each shard's ``metrics`` op). Every sample is
+    re-emitted with a ``shard="<id>"`` label added, families are
+    deduplicated to one ``# HELP`` / ``# TYPE`` header each, and the
+    result is itself valid exposition (:func:`parse_prom_text` accepts
+    it -- each input is parsed, so a malformed shard export fails here,
+    not at the scraper). Histograms stay correct because the shard label
+    keeps each worker's bucket series distinct.
+    """
+    parsed = {shard: parse_prom_text(text) for shard, text in texts.items()}
+    families: Dict[str, Dict] = {}
+    for shard in sorted(parsed):
+        for name, family in parsed[shard].items():
+            merged = families.setdefault(
+                name,
+                {"type": family["type"], "help": family["help"], "rows": []},
+            )
+            for sample_name, labels, value in family["samples"]:
+                if labels.get("shard") not in (None, shard):
+                    raise ValueError(
+                        f"{name}: sample already labelled "
+                        f"shard={labels['shard']!r}, cannot relabel for "
+                        f"{shard!r}"
+                    )
+                labelled = dict(labels)
+                labelled["shard"] = shard
+                merged["rows"].append((sample_name, labelled, value))
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        if family["help"] is not None:
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample_name, labels, value in family["rows"]:
+            # ``le`` must stay last-ish is not required by the format;
+            # sorted label order keeps output deterministic.
+            label_pairs = tuple(sorted(labels.items()))
+            lines.append(
+                f"{sample_name}{_format_labels(label_pairs)} "
+                f"{_format_value(value)}"
+            )
     return "\n".join(lines) + "\n" if lines else ""
 
 

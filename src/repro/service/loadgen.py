@@ -7,6 +7,13 @@ workload over real TCP connections. Reports throughput, latency
 percentiles, cache hit rate, disk accesses, latch contention, and the
 per-session/total counter consistency check, then measures the batch
 executor's Morton-order scheduling against arrival order on a cold pool.
+
+``connect`` mode (``bench-serve --connect host:port [--connect ...]``)
+drives *running* servers instead of building one: client thread ``i``
+connects to address ``i mod N`` (round-robin), so one generator can load
+a shard router, the routed and unrouted endpoints side by side, or
+several workers at once. Engine-side statistics (cache, latch, batch
+scheduling) are whatever the target's ``stats`` op reports.
 """
 
 from __future__ import annotations
@@ -113,6 +120,47 @@ def _workload(
     return requests
 
 
+def parse_address(spec: str) -> Tuple[str, int]:
+    """``host:port`` -> ``(host, port)`` (the ``--connect`` CLI shape)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must look like host:port, got {spec!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"bad port in address {spec!r}") from None
+
+
+def _uniform_workload(
+    n: int, rng: random.Random, world_size: float, window_frac: float = 0.03
+) -> List[Request]:
+    """The same point/window/nearest mix as :func:`_workload`, drawn
+    uniformly over the world square (connect mode has no local table to
+    sample sites from)."""
+    half = world_size * window_frac / 2.0
+    requests: List[Request] = []
+    for _ in range(n):
+        x, y = rng.uniform(0, world_size), rng.uniform(0, world_size)
+        roll = rng.random()
+        if roll < 0.5:
+            requests.append({"op": "point", "x": x, "y": y})
+        elif roll < 0.8:
+            requests.append(
+                {
+                    "op": "window",
+                    "x1": x - half,
+                    "y1": y - half,
+                    "x2": x + half,
+                    "y2": y + half,
+                }
+            )
+        else:
+            requests.append(
+                {"op": "nearest", "x": x, "y": y, "k": rng.randint(1, 3)}
+            )
+    return requests
+
+
 def _client(
     address: Tuple[str, int],
     requests: List[Request],
@@ -134,6 +182,91 @@ def _client(
     errors.append(failed)
 
 
+def _connect_bench(
+    addresses: List[Tuple[str, int]],
+    threads: int,
+    requests: int,
+    seed: int,
+    world_size: Optional[float],
+) -> BenchReport:
+    """Drive already-running servers, round-robin across ``addresses``."""
+    import threading as _threading
+
+    from repro.core.interface import WORLD_SIZE
+    from repro.metric_names import COUNTER_FIELDS
+    from repro.service.server import send_request
+
+    if world_size is None:
+        world_size = float(WORLD_SIZE)
+    rng = random.Random(seed)
+    workload = _uniform_workload(requests, rng, world_size)
+    shares = [workload[i::threads] for i in range(threads)]
+    errors: List[int] = []
+    per_thread: List[List[float]] = [[] for _ in range(threads)]
+    workers = [
+        _threading.Thread(
+            target=_client,
+            args=(
+                addresses[i % len(addresses)],
+                shares[i],
+                per_thread[i],
+                errors,
+            ),
+        )
+        for i in range(threads)
+    ]
+    start = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    elapsed = time.perf_counter() - start
+    latencies = sorted(lat for bucket in per_thread for lat in bucket)
+
+    # Whatever the first target's stats op reports: a single server and
+    # the shard router both expose "totals" and "counters_consistent".
+    structure, segments = "remote", 0
+    totals = dict.fromkeys([*COUNTER_FIELDS, DISK_ACCESSES], 0)
+    consistent = True
+    try:
+        stats = send_request(addresses[0], {"op": "stats"})
+    except OSError:
+        stats = {"ok": False}
+    if stats.get("ok"):
+        result = stats["result"]
+        totals = dict(result.get("totals", totals))
+        consistent = bool(result.get("counters_consistent", True))
+        if "index" in result:
+            structure = result["index"]["kind"]
+            segments = result["index"]["segments"]
+        elif "shards" in result:
+            structure = f"routed[{len(result['shards'])}]"
+            segments = max(
+                (s["index"]["segments"] for s in result["shards"].values()),
+                default=0,
+            )
+    return BenchReport(
+        structure=structure,
+        source="connect:" + ",".join(f"{h}:{p}" for h, p in addresses),
+        segments=segments,
+        threads=threads,
+        requests=len(latencies),
+        errors=sum(errors),
+        elapsed_seconds=elapsed,
+        throughput_qps=len(latencies) / elapsed if elapsed > 0 else 0.0,
+        latency_ms={
+            "p50": percentile(latencies, 0.50) * 1e3,
+            "p90": percentile(latencies, 0.90) * 1e3,
+            "p99": percentile(latencies, 0.99) * 1e3,
+            "max": (latencies[-1] if latencies else 0.0) * 1e3,
+        },
+        cache={"hits": 0, "misses": 0, "hit_rate": 0.0, "invalidations": 0},
+        latch={"acquisitions": 0, "contended": 0},
+        totals=totals,
+        counters_consistent=consistent,
+    )
+
+
 def bench_serve(
     county: str = "charles",
     scale: float = 0.02,
@@ -146,18 +279,24 @@ def bench_serve(
     seed: int = 0,
     trace: bool = False,
     slow_ms: Optional[float] = None,
+    connect: Optional[List[Tuple[str, int]]] = None,
+    world_size: Optional[float] = None,
 ) -> BenchReport:
     """Run the full closed-loop benchmark; see the module docstring.
 
     With ``trace=True`` the process tracer is enabled for the run (and
     restored afterwards), so the report's ``obs`` section shows how many
     traces the workload produced; ``slow_ms`` arms the engine's
-    slow-query log at that threshold.
+    slow-query log at that threshold. A non-empty ``connect`` list
+    switches to connect mode: no server is built, and the client threads
+    round-robin over the given addresses.
     """
     import threading as _threading
 
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
+    if connect:
+        return _connect_bench(connect, threads, requests, seed, world_size)
     if snapshot is not None:
         index = open_index(snapshot)
         source = f"snapshot:{snapshot}"

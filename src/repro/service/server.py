@@ -62,10 +62,14 @@ def error_envelope(exc: BaseException) -> Dict[str, str]:
     exception-class -> error-code policy lives.
 
     * :class:`ProtocolError` carries its own code (``unknown_op``,
-      ``bad_args``, ``not_durable``, ...).
+      ``bad_args``, ``not_durable``, ``shard_unavailable``, ...).
     * ``KeyError`` is how the engine reports an unknown segment id.
     * Other ``ValueError``/``TypeError`` are argument problems.
     * Anything else is ``internal`` -- a bug, surfaced but contained.
+
+    When the exception names an originating shard (the router relaying a
+    worker failure sets ``shard_id``), the envelope carries it through so
+    clients see *which* process failed, not just that one did.
     """
     if isinstance(exc, ProtocolError):
         code = exc.code
@@ -79,7 +83,11 @@ def error_envelope(exc: BaseException) -> Dict[str, str]:
     else:
         code = "internal"
         message = str(exc)
-    return {"code": code, "message": message, "type": type(exc).__name__}
+    envelope = {"code": code, "message": message, "type": type(exc).__name__}
+    shard_id = getattr(exc, "shard_id", None)
+    if shard_id is not None:
+        envelope["shard"] = shard_id
+    return envelope
 
 
 #: Compact separators: responses carry segment lists, so the default

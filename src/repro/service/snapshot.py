@@ -259,6 +259,40 @@ def open_index(
     return index
 
 
+def empty_index_like(index, ctx: StorageContext):
+    """A fresh, empty index of the same kind and construction parameters
+    as ``index``, over the caller's new :class:`StorageContext`.
+
+    The shard rebalancer uses this to build each child of a split: same
+    capacity/split-rule/threshold/world as the parent, zero entries.
+    """
+    kind = _KINDS.get(type(index))
+    if kind is None:
+        raise SnapshotError(
+            f"no snapshot support for {type(index).__name__}; supported "
+            f"kinds: {sorted(_KINDS.values())}"
+        )
+    if kind in ("R", "R*"):
+        cls = RStarTree if kind == "R*" else GuttmanRTree
+        clone = cls(ctx, capacity=index.capacity)
+        clone.min_entries = index.min_entries
+        return clone
+    if kind == "R+":
+        return RPlusTree(
+            ctx,
+            world=index.world,
+            capacity=index.capacity,
+            split_rule=index.split_rule,
+        )
+    return PMRQuadtree(
+        ctx,
+        threshold=index.threshold,
+        max_depth=index.max_depth,
+        world_size=index.world_size,
+        curve=index.curve,
+    )
+
+
 def snapshot_info(src: Union[str, os.PathLike, BinaryIO]) -> Dict[str, Any]:
     """Read only the manifest of a snapshot (no page decoding)."""
     if hasattr(src, "read"):

@@ -1,0 +1,681 @@
+"""The scatter-gather router: one wire endpoint over N shard workers.
+
+``python -m repro route`` serves the same newline-JSON protocol as a
+single :class:`~repro.service.server.MapServer`, but behind it sits a
+shard set: each typed request is clipped to the shards whose Hilbert
+regions it touches, fanned out concurrently, and the replies merged --
+
+* **point / window** go to intersecting shards only and the id lists are
+  set-unioned: a boundary segment indexed by both neighbours (the R+ and
+  PMR duplication story, now *across* processes) appears exactly once.
+* **nearest** goes to every shard with the same ``k``; pairs are merged
+  keeping the minimum distance per seg_id, sorted by ``(d2, seg_id)``
+  and cut to ``k`` -- the union of local top-k contains the global
+  top-k, because each global winner is locally indexed somewhere with a
+  local rank no worse than its global rank.
+* **insert / delete / batch / checkpoint** go to all shards (replicated
+  table: every table appends in lockstep, so positional seg_ids agree).
+* **stats / metrics / check / health / trace / explain** are merged
+  observability: counters are summed (per-shard totals add up to the
+  routed totals exactly), Prometheus expositions are relabelled
+  ``shard="<id>"`` and concatenated, and EXPLAIN reports keep each
+  shard's cost tree under one merged ``observed`` bill.
+
+Failure semantics: an unreachable worker never hangs the client. The
+router answers ``{"ok": false, "error": {"code": "shard_unavailable",
+"shard": ..., ...}}`` and, when other shards did answer a read, attaches
+their merged answer under ``"partial"``. Worker addresses are re-read
+from each shard's ``shard.addr`` on every reconnect, so a worker
+restarted on a new port heals without touching the router.
+
+Rebalance hand-off: ``{"op": "reload"}`` drains in-flight requests
+(new ones block at the gate), re-reads the manifest, swaps the client
+set, and reports the new epoch -- the atomic-manifest + drain protocol
+the shard-split CLI relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import socket
+import socketserver
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ERROR_CODES, ProtocolError, ShardUnavailableError
+from repro.geometry import Rect
+from repro.metric_names import (
+    COUNTER_FIELDS,
+    DISK_ACCESSES,
+    DISK_READS,
+)
+from repro.obs.explain import merge_explain_reports
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import merge_prom_texts
+from repro.service.api import (
+    BatchRequest,
+    Delete,
+    Explain,
+    Insert,
+    NearestQuery,
+    PointQuery,
+    WindowQuery,
+    parse_request,
+    request_version,
+)
+from repro.service.server import _COMPACT, error_envelope
+from repro.shard.manifest import ShardMap, ShardSpec
+from repro.shard.worker import read_addr
+
+
+class _RelayedError(ProtocolError):
+    """A structured error a shard served, re-raised router-side with the
+    originating shard attached (``error_envelope`` keeps both)."""
+
+    def __init__(self, shard_id: str, envelope: Dict[str, Any]) -> None:
+        code = envelope.get("code", "internal")
+        if code not in ERROR_CODES:
+            code = "internal"
+        super().__init__(
+            str(envelope.get("message", "shard error")), code=code
+        )
+        self.shard_id = shard_id
+
+
+class ShardClient:
+    """One pooled connection to one shard worker.
+
+    The address comes from the worker's ``shard.addr`` file at every
+    (re)connect, so a restarted worker on a fresh port is found without
+    coordination. All failures -- missing address, refused connection,
+    timeout, mid-request disconnect -- surface as
+    :class:`ShardUnavailableError` naming the shard.
+    """
+
+    def __init__(
+        self, shard_id: str, store_root: str, timeout: float = 5.0
+    ) -> None:
+        self.shard_id = shard_id
+        self.store_root = os.fspath(store_root)
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._fh = None
+
+    def _unavailable(self, why: str) -> ShardUnavailableError:
+        return ShardUnavailableError(
+            f"shard {self.shard_id} is unavailable: {why}", self.shard_id
+        )
+
+    def _connect(self) -> None:
+        try:
+            addr = read_addr(self.store_root)
+            host, port = addr["host"], int(addr["port"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise self._unavailable(f"no usable address file ({exc})") from exc
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=self.timeout
+            )
+            self._fh = self._sock.makefile("rwb")
+        except OSError as exc:
+            self._sock = None
+            self._fh = None
+            raise self._unavailable(f"connect to {host}:{port} failed ({exc})") from exc
+
+    def _drop(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                self._fh = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                self._sock = None
+        self._sock = None
+        self._fh = None
+
+    def _roundtrip(self, line: bytes) -> bytes:
+        self._fh.write(line)
+        self._fh.flush()
+        return self._fh.readline()
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request, returning the shard's response envelope.
+
+        A pooled connection that errors or EOFs is retried once over a
+        fresh connection (the worker may have restarted on a new port
+        since the pool last used it); a *fresh* connection failing is
+        final. The retry re-sends the payload, so a worker that applied
+        a mutation and died before replying can double-apply -- that is
+        a table divergence, which the seg_id agreement check and
+        ``check --shards`` surface for ``shard-rebuild``.
+        """
+        line = json.dumps(payload, separators=_COMPACT).encode("utf-8") + b"\n"
+        with self._lock:
+            fresh = self._sock is None
+            if fresh:
+                self._connect()
+            reply = b""
+            error: Optional[OSError] = None
+            try:
+                reply = self._roundtrip(line)
+            except OSError as exc:
+                error = exc
+            if not reply:
+                self._drop()
+                if fresh:
+                    why = (
+                        f"request failed ({error})"
+                        if error is not None
+                        else "connection closed mid-request"
+                    )
+                    raise self._unavailable(why) from error
+                self._connect()
+                try:
+                    reply = self._roundtrip(line)
+                except OSError as exc2:
+                    self._drop()
+                    raise self._unavailable(
+                        f"request failed after reconnect ({exc2})"
+                    ) from exc2
+                if not reply:
+                    self._drop()
+                    raise self._unavailable(
+                        "connection closed mid-request after reconnect"
+                    )
+            try:
+                return json.loads(reply)
+            except ValueError as exc:
+                self._drop()
+                raise self._unavailable(f"unparseable reply ({exc})") from exc
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+
+# ----------------------------------------------------------------------
+# Merge helpers
+# ----------------------------------------------------------------------
+def merge_id_lists(lists: Sequence[List[int]]) -> List[int]:
+    """Cross-shard dedup by seg_id: sorted union of result id lists."""
+    out: set = set()
+    for ids in lists:
+        out.update(ids)
+    return sorted(out)
+
+
+def merge_nearest(
+    lists: Sequence[List[Sequence[float]]], k: int
+) -> List[Tuple[int, float]]:
+    """Merge per-shard k-NN answers: min distance per seg_id, then the
+    global ``(d2, seg_id)`` order, cut to ``k``."""
+    best: Dict[int, float] = {}
+    for pairs in lists:
+        for seg_id, d2 in pairs:
+            seg_id = int(seg_id)
+            if seg_id not in best or d2 < best[seg_id]:
+                best[seg_id] = d2
+    ranked = sorted(best.items(), key=lambda item: (item[1], item[0]))
+    return [(seg_id, d2) for seg_id, d2 in ranked[:k]]
+
+
+def _merge_same_value(values: List[Any], what: str) -> Any:
+    first = values[0]
+    for value in values[1:]:
+        if value != first:
+            raise RuntimeError(
+                f"shards disagree on {what}: {sorted(set(map(repr, values)))}; "
+                f"the replicated tables have diverged (run shard-rebuild)"
+            )
+    return first
+
+
+class ShardRouter(socketserver.ThreadingTCPServer):
+    """Scatter-gather front end over the shard set rooted at ``root``."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 5.0,
+    ) -> None:
+        super().__init__((host, port), _RouterHandler)
+        self.root = os.fspath(root)
+        self.timeout = timeout
+        self.connection_ids = itertools.count(1)
+        self.registry = MetricsRegistry()
+        self._gate = threading.Condition()
+        self._active = 0
+        self._draining = False
+        self.shard_map: ShardMap = ShardMap.load(self.root)
+        self.clients: Dict[str, ShardClient] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._build_clients()
+
+    def _build_clients(self) -> None:
+        smap = self.shard_map
+        self.clients = {
+            spec.shard_id: ShardClient(
+                spec.shard_id,
+                smap.store_path(self.root, spec.shard_id),
+                timeout=self.timeout,
+            )
+            for spec in smap.shards
+        }
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(self.clients)),
+            thread_name_prefix="shard-scatter",
+        )
+        self.registry.gauge("repro_router_shards").set(len(self.clients))
+        self.registry.gauge("repro_router_epoch").set(smap.epoch)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.server_address[:2]
+        return host, port
+
+    def start_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.serve_forever, name="shard-router", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        for client in self.clients.values():
+            client.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Drain gate and manifest reload
+    # ------------------------------------------------------------------
+    def _enter_gate(self) -> None:
+        with self._gate:
+            while self._draining:
+                self._gate.wait()
+            self._active += 1
+
+    def _exit_gate(self) -> None:
+        with self._gate:
+            self._active -= 1
+            if self._active == 0:
+                self._gate.notify_all()
+
+    def reload(self) -> Dict[str, Any]:
+        """Drain in-flight requests, re-read the manifest, swap clients.
+
+        New requests block at the gate while draining, so no request
+        observes a half-swapped client set; the manifest file itself is
+        replaced atomically by the writer, so the reload sees one epoch
+        or the other.
+        """
+        with self._gate:
+            self._draining = True
+            while self._active > 0:
+                self._gate.wait()
+        try:
+            old = {c for c in self.clients.values()}
+            self.shard_map = ShardMap.load(self.root)
+            self._build_clients()
+            for client in old:
+                client.close()
+        finally:
+            with self._gate:
+                self._draining = False
+                self._gate.notify_all()
+        return {
+            "epoch": self.shard_map.epoch,
+            "shards": [s.shard_id for s in self.shard_map.shards],
+        }
+
+    # ------------------------------------------------------------------
+    # Wire entry point
+    # ------------------------------------------------------------------
+    def respond(self, line: Any) -> Dict[str, Any]:
+        """One wire request -> one envelope; never raises, never hangs."""
+        version: Optional[int] = None
+        op = "invalid"
+        try:
+            raw = json.loads(line)
+            if not isinstance(raw, dict):
+                raise ProtocolError(
+                    f"request must be a JSON object, got {type(raw).__name__}"
+                )
+            op = str(raw.get("op"))
+            if raw.get("v") is not None:
+                version = request_version(raw)
+            if op == "reload":
+                # The reload op bypasses the gate: it *is* the drainer,
+                # and entering the gate would deadlock on itself.
+                result = self.reload()
+            else:
+                self._enter_gate()
+                try:
+                    result = self.dispatch(raw)
+                finally:
+                    self._exit_gate()
+            response: Dict[str, Any] = {"ok": True, "result": result}
+            self.registry.counter(
+                "repro_router_requests_total", op=op, status="ok"
+            ).inc()
+        except Exception as exc:  # serve errors back, keep the connection
+            response = {"ok": False, "error": error_envelope(exc)}
+            partial = getattr(exc, "partial", None)
+            if partial is not None:
+                response["partial"] = partial
+            self.registry.counter(
+                "repro_router_requests_total", op=op, status="error"
+            ).inc()
+        if version is not None:
+            response["v"] = version
+        return response
+
+    # ------------------------------------------------------------------
+    # Scatter and gather
+    # ------------------------------------------------------------------
+    def _specs(self, shard_ids: Optional[List[str]] = None) -> List[ShardSpec]:
+        if shard_ids is None:
+            return list(self.shard_map.shards)
+        return [self.shard_map.shard(sid) for sid in shard_ids]
+
+    def _scatter(
+        self, specs: List[ShardSpec], payload: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Dict[str, ShardUnavailableError]]:
+        """Fan ``payload`` to ``specs`` concurrently.
+
+        Returns ``(responses, failures)``: response envelopes by shard
+        id, and the transport-level failures by shard id.
+        """
+        payload = {k: v for k, v in payload.items() if k != "v"}
+
+        def call(spec: ShardSpec):
+            try:
+                return spec.shard_id, self.clients[spec.shard_id].request(payload), None
+            except ShardUnavailableError as exc:
+                return spec.shard_id, None, exc
+
+        futures = [self._pool.submit(call, spec) for spec in specs]
+        responses: Dict[str, Any] = {}
+        failures: Dict[str, ShardUnavailableError] = {}
+        for future in futures:
+            shard_id, response, exc = future.result()
+            if exc is not None:
+                failures[shard_id] = exc
+            else:
+                responses[shard_id] = response
+        return responses, failures
+
+    def _gather(
+        self,
+        specs: List[ShardSpec],
+        payload: Dict[str, Any],
+        merge,
+        partial_merge=None,
+    ):
+        """Scatter, then merge the successful results -- or raise with
+        the failing shard attached and any partial answer aboard."""
+        responses, failures = self._scatter(specs, payload)
+        oks: Dict[str, Any] = {}
+        relayed: Dict[str, Dict[str, Any]] = {}
+        for shard_id, response in responses.items():
+            if response.get("ok"):
+                oks[shard_id] = response.get("result")
+            else:
+                relayed[shard_id] = response.get("error") or {}
+        if failures or relayed:
+            if failures:
+                shard_id = sorted(failures)[0]
+                exc: Exception = failures[shard_id]
+            else:
+                shard_id = sorted(relayed)[0]
+                exc = _RelayedError(shard_id, relayed[shard_id])
+            if oks:
+                merger = partial_merge if partial_merge is not None else merge
+                try:
+                    merged = merger(oks)
+                except Exception:
+                    merged = None
+                exc.partial = {
+                    "shards": sorted(oks),
+                    "result": merged,
+                }
+            raise exc
+        return merge(oks)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, raw: Dict[str, Any]) -> Any:
+        op = raw.get("op")
+        if op == "ping":
+            return "pong"
+        request = parse_request(raw)
+        smap = self.shard_map
+        if isinstance(request, PointQuery):
+            specs = smap.route_point(request.x, request.y)
+            return self._gather(
+                specs, raw, lambda oks: merge_id_lists(list(oks.values()))
+            )
+        if isinstance(request, WindowQuery):
+            rect = Rect(request.x1, request.y1, request.x2, request.y2)
+            return self._gather(
+                smap.route_rect(rect),
+                raw,
+                lambda oks: merge_id_lists(list(oks.values())),
+            )
+        if isinstance(request, NearestQuery):
+            k = request.k
+            return self._gather(
+                self._specs(),
+                raw,
+                lambda oks: merge_nearest(list(oks.values()), k),
+            )
+        if isinstance(request, Insert):
+            return self._gather(
+                self._specs(),
+                raw,
+                lambda oks: _merge_same_value(list(oks.values()), "seg_id"),
+                partial_merge=lambda oks: {"applied": sorted(oks)},
+            )
+        if isinstance(request, Delete):
+            return self._gather(
+                self._specs(),
+                raw,
+                lambda oks: self._merge_delete(request.seg_id, oks),
+                partial_merge=lambda oks: {"applied": sorted(oks)},
+            )
+        if isinstance(request, BatchRequest):
+            return self._gather(
+                self._specs(),
+                raw,
+                lambda oks: self._merge_batch(request, oks),
+                partial_merge=lambda oks: {"applied": sorted(oks)},
+            )
+        if isinstance(request, Explain):
+            return self._routed_explain(request, raw)
+        if op == "checkpoint":
+            return self._gather(
+                self._specs(), raw, lambda oks: dict(sorted(oks.items()))
+            )
+        if op == "stats":
+            return self._merge_stats()
+        if op == "check":
+            return self._merge_check()
+        if op == "metrics":
+            return self._merge_metrics(raw.get("format", "json"))
+        if op in ("health", "trace"):
+            responses, failures = self._scatter(self._specs(), raw)
+            out = {
+                sid: resp.get("result")
+                for sid, resp in responses.items()
+                if resp.get("ok")
+            }
+            return {
+                "shards": dict(sorted(out.items())),
+                "unavailable": sorted(failures),
+            }
+        raise ProtocolError(
+            f"op {op!r} is not routable through the shard router",
+            code="unknown_op",
+        )
+
+    # ------------------------------------------------------------------
+    # Per-op merges
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_delete(seg_id: int, oks: Dict[str, Any]) -> bool:
+        if any(oks.values()):
+            return True
+        # Every shard logged the delete but none had it indexed: the
+        # segment was already gone everywhere. Single-node parity says
+        # a double delete is unknown_seg.
+        raise KeyError(f"unknown segment id {seg_id}: not indexed on any shard")
+
+    def _merge_batch(
+        self, request: BatchRequest, oks: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Member-wise merge of per-shard batch results.
+
+        The whole batch goes to every shard (mutations must reach all
+        tables; reads outside a shard's region just come back empty), so
+        each shard returns a full result list in arrival order and the
+        merge is positional.
+        """
+        shard_ids = sorted(oks)
+        member_lists = [oks[sid]["results"] for sid in shard_ids]
+        merged: List[Any] = []
+        for idx, member in enumerate(request.requests):
+            per_shard = [members[idx] for members in member_lists]
+            member_op = member.get("op")
+            if member_op in ("point", "window"):
+                merged.append(merge_id_lists(per_shard))
+            elif member_op == "nearest":
+                merged.append(merge_nearest(per_shard, int(member.get("k", 1))))
+            elif member_op == "insert":
+                merged.append(_merge_same_value(per_shard, "seg_id"))
+            else:  # delete
+                merged.append(bool(any(per_shard)))
+        return {
+            "results": merged,
+            "order": oks[shard_ids[0]]["order"],
+            DISK_ACCESSES: sum(oks[sid][DISK_ACCESSES] for sid in shard_ids),
+        }
+
+    def _routed_explain(
+        self, request: Explain, raw: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        inner = request.query
+        if isinstance(inner, PointQuery):
+            specs = self.shard_map.route_point(inner.x, inner.y)
+        elif isinstance(inner, WindowQuery):
+            specs = self.shard_map.route_rect(
+                Rect(inner.x1, inner.y1, inner.x2, inner.y2)
+            )
+        else:
+            specs = self._specs()
+        return self._gather(
+            specs, raw, lambda oks: merge_explain_reports(dict(oks))
+        )
+
+    def _merge_stats(self) -> Dict[str, Any]:
+        responses, failures = self._scatter(self._specs(), {"op": "stats"})
+        shards: Dict[str, Any] = {}
+        totals = dict.fromkeys(COUNTER_FIELDS, 0)
+        consistent = True
+        for shard_id, response in sorted(responses.items()):
+            if not response.get("ok"):
+                failures[shard_id] = self.clients[shard_id]._unavailable(
+                    "stats op failed"
+                )
+                continue
+            stats = response["result"]
+            shards[shard_id] = stats
+            for name in COUNTER_FIELDS:
+                totals[name] += stats["totals"][name]
+            consistent = consistent and stats["counters_consistent"]
+        totals[DISK_ACCESSES] = totals[DISK_READS]
+        return {
+            "epoch": self.shard_map.epoch,
+            "order": self.shard_map.order,
+            "world_size": self.shard_map.world_size,
+            "shards": shards,
+            "totals": totals,
+            "counters_consistent": consistent,
+            "unavailable": sorted(failures),
+        }
+
+    def _merge_check(self) -> Dict[str, Any]:
+        responses, failures = self._scatter(self._specs(), {"op": "check"})
+        shards: Dict[str, Any] = {}
+        clean = not failures
+        for shard_id, response in sorted(responses.items()):
+            if response.get("ok"):
+                shards[shard_id] = response["result"]
+                clean = clean and response["result"].get("clean", False)
+            else:
+                clean = False
+                shards[shard_id] = {
+                    "clean": False,
+                    "error": response.get("error"),
+                }
+        return {
+            "clean": clean,
+            "shards": shards,
+            "unavailable": sorted(failures),
+        }
+
+    def _merge_metrics(self, fmt: str) -> Any:
+        payload = {"op": "metrics", "format": fmt}
+        if fmt == "prom":
+            responses, failures = self._scatter(self._specs(), payload)
+            if failures:
+                shard_id = sorted(failures)[0]
+                raise failures[shard_id]
+            texts = {}
+            for shard_id, response in responses.items():
+                if not response.get("ok"):
+                    raise _RelayedError(shard_id, response.get("error") or {})
+                texts[shard_id] = response["result"]
+            texts["router"] = self.registry.render_prom()
+            return merge_prom_texts(texts)
+        responses, failures = self._scatter(self._specs(), payload)
+        out = {
+            sid: resp.get("result")
+            for sid, resp in responses.items()
+            if resp.get("ok")
+        }
+        return {
+            "shards": dict(sorted(out.items())),
+            "router": self.registry.render_json(),
+            "unavailable": sorted(failures),
+        }
+
+
+class _RouterHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: ShardRouter = self.server  # type: ignore[assignment]
+        respond, dumps = server.respond, json.dumps
+        write, flush = self.wfile.write, self.wfile.flush
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            response = respond(line)
+            write(dumps(response, separators=_COMPACT).encode("utf-8") + b"\n")
+            flush()

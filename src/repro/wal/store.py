@@ -103,6 +103,7 @@ def replay_records(
     records: List[WalRecord],
     checkpoint_lsn: int,
     order: str = "morton",
+    index_filter: Optional[Callable[[int, Segment], bool]] = None,
 ) -> ReplayResult:
     """Apply a log's records on top of a checkpointed index, idempotently.
 
@@ -113,6 +114,13 @@ def replay_records(
     checkpointed segments are applied. Replaying the same records twice
     converges: an insert already present in both table and index is a
     no-op, as is a delete of an already-deleted segment.
+
+    ``index_filter(seg_id, segment)`` decides which replayed inserts are
+    *indexed*; the table append always happens regardless (positional ids
+    are a global contract). Shard workers pass their region predicate
+    here so recovery rebuilds the full replicated table but only the
+    locally-owned index entries; filtered-out deletes likewise become
+    no-ops instead of errors.
     """
     result = ReplayResult()
     table = index.ctx.segments
@@ -143,6 +151,8 @@ def replay_records(
         key = _curve_key(order)
         to_insert = sorted(pending, key=lambda sid: key(pending[sid]))
     for seg_id in to_insert:
+        if index_filter is not None and not index_filter(seg_id, pending[seg_id]):
+            continue
         if seg_id < preexisting and _already_indexed(index, seg_id, pending[seg_id]):
             continue
         index.insert(seg_id)
@@ -209,8 +219,16 @@ class DurableStore:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, root: str, index, group_commit: int = 1) -> "DurableStore":
-        """Make ``root`` a durable store holding ``index`` at LSN 0."""
+    def create(
+        cls, root: str, index, group_commit: int = 1, base_lsn: int = 0
+    ) -> "DurableStore":
+        """Make ``root`` a durable store holding ``index`` at ``base_lsn``.
+
+        A non-zero ``base_lsn`` continues an existing LSN lineage: a
+        shard split materializes each child at the parent's last LSN so
+        the children's logs stay comparable with their peers' (the
+        replicated mutation stream numbers every store identically).
+        """
         root = os.fspath(root)
         os.makedirs(root, exist_ok=True)
         if cls.exists(root):
@@ -222,12 +240,12 @@ class DurableStore:
             root,
             index,
             wal=WriteAheadLog.create(
-                paths["log"], base_lsn=0, group_commit=group_commit
+                paths["log"], base_lsn=base_lsn, group_commit=group_commit
             ),
-            checkpoint_lsn=0,
+            checkpoint_lsn=base_lsn,
         )
-        store._write_snapshot(0)
-        store._write_manifest(0)
+        store._write_snapshot(base_lsn)
+        store._write_manifest(base_lsn)
         return store
 
     @classmethod
@@ -238,6 +256,7 @@ class DurableStore:
         group_commit: int = 1,
         repair: bool = True,
         replay_order: str = "morton",
+        index_filter: Optional[Callable[[int, Segment], bool]] = None,
     ) -> "DurableStore":
         """Recover a durable store: latest checkpoint + log-suffix replay.
 
@@ -286,7 +305,13 @@ class DurableStore:
                 f"log starts at LSN {scan.base_lsn} but the checkpoint "
                 f"holds only up to {embedded}: records are missing"
             )
-        replay = replay_records(index, scan.records, embedded, order=replay_order)
+        replay = replay_records(
+            index,
+            scan.records,
+            embedded,
+            order=replay_order,
+            index_filter=index_filter,
+        )
         wal = WriteAheadLog.open(
             paths["log"], group_commit=group_commit, repair=repair
         )
@@ -381,6 +406,7 @@ def open_durable(
     group_commit: int = 1,
     repair: bool = True,
     replay_order: str = "morton",
+    index_filter: Optional[Callable[[int, Segment], bool]] = None,
 ) -> DurableStore:
     """The recovery entry point: alias for :meth:`DurableStore.open`."""
     return DurableStore.open(
@@ -389,4 +415,5 @@ def open_durable(
         group_commit=group_commit,
         repair=repair,
         replay_order=replay_order,
+        index_filter=index_filter,
     )

@@ -1,0 +1,85 @@
+"""Tests for the routed perf baseline (``bench --routed``)."""
+
+import copy
+
+import pytest
+
+from repro.bench.compare import EXIT_INCOMPARABLE, EXIT_OK, compare_records
+from repro.bench.runner import BENCH_KIND
+from repro.bench.shard import (
+    SHARD_BENCH_KIND,
+    SHARD_BENCH_STRUCTURES,
+    SHARD_BENCH_WORKLOADS,
+    run_shard_bench,
+    validate_shard_record,
+)
+from repro.metric_names import PAPER_METRICS
+
+TINY = {"scale": 0.01, "n_queries": 3, "n_shards": 2}
+
+
+@pytest.fixture(scope="module")
+def record():
+    return run_shard_bench(TINY)
+
+
+class TestRoutedRecord:
+    def test_record_validates(self, record):
+        assert validate_shard_record(record) == []
+        assert record["kind"] == SHARD_BENCH_KIND
+
+    def test_every_structure_and_workload_present(self, record):
+        assert set(record["structures"]) == set(SHARD_BENCH_STRUCTURES)
+        for entry in record["structures"].values():
+            assert set(entry["workloads"]) == set(SHARD_BENCH_WORKLOADS)
+            assert entry["build"]["shards"] == TINY["n_shards"]
+
+    def test_totals_are_workload_sums(self, record):
+        for entry in record["structures"].values():
+            for metric in PAPER_METRICS:
+                assert entry["totals"][metric] == sum(
+                    entry["workloads"][w][metric]
+                    for w in SHARD_BENCH_WORKLOADS
+                )
+
+    def test_workloads_actually_ran(self, record):
+        for entry in record["structures"].values():
+            for w in SHARD_BENCH_WORKLOADS:
+                assert entry["workloads"][w]["queries"] > 0
+            # The read workloads must touch the disk counters.
+            assert entry["totals"]["disk_accesses"] > 0
+
+    def test_self_comparison_is_clean_at_zero_tolerance(self, record):
+        code, lines = compare_records(record, record, tolerance=0.0)
+        assert code == EXIT_OK, "\n".join(lines)
+
+
+class TestGateKindSafety:
+    def test_cross_kind_comparison_refused(self, record):
+        code, lines = compare_records({"kind": BENCH_KIND}, record)
+        assert code == EXIT_INCOMPARABLE
+        assert any("kind mismatch" in line for line in lines)
+
+    def test_unknown_kind_refused(self):
+        bogus = {"kind": "repro-mystery-bench"}
+        code, lines = compare_records(bogus, dict(bogus))
+        assert code == EXIT_INCOMPARABLE
+
+    def test_regression_detected(self, record):
+        worse = copy.deepcopy(record)
+        name = SHARD_BENCH_STRUCTURES[0]
+        entry = worse["structures"][name]
+        entry["totals"]["disk_accesses"] = (
+            entry["totals"]["disk_accesses"] * 10 + 100
+        )
+        code, lines = compare_records(record, worse, tolerance=0.10)
+        assert code == 1
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_missing_workload_fails_validation(self, record):
+        broken = copy.deepcopy(record)
+        name = SHARD_BENCH_STRUCTURES[0]
+        del broken["structures"][name]["workloads"]["mutate"]
+        assert any(
+            "mutate" in problem for problem in validate_shard_record(broken)
+        )

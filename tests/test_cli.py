@@ -56,3 +56,61 @@ class TestCLI:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestShardCLI:
+    def _init(self, capsys, tmp_path, n_shards="3"):
+        root = str(tmp_path / "shards")
+        rc, out = run_cli(
+            capsys,
+            "shard-init",
+            "--root",
+            root,
+            "--county",
+            "cecil",
+            "--scale",
+            "0.01",
+            "--structure",
+            "PMR",
+            "--n-shards",
+            n_shards,
+            "--page-size",
+            "2048",
+        )
+        assert rc == 0
+        return root, out
+
+    def test_shard_init_reports_ranges(self, capsys, tmp_path):
+        root, out = self._init(capsys, tmp_path)
+        assert "initialised 3-shard PMR set" in out
+        assert "s0: cells [0," in out
+
+    def test_check_shards_clean(self, capsys, tmp_path):
+        root, _ = self._init(capsys, tmp_path)
+        rc, out = run_cli(capsys, "check", "--shards", root)
+        assert rc == 0
+        assert "clean: 0 findings" in out
+
+    def test_check_shards_missing_dir(self, capsys, tmp_path):
+        rc = main(["check", "--shards", str(tmp_path / "nope")])
+        assert rc == 2
+
+    def test_shard_split_bumps_epoch(self, capsys, tmp_path):
+        root, _ = self._init(capsys, tmp_path)
+        rc, out = run_cli(capsys, "shard-split", "--root", root, "--shard", "s1")
+        assert rc == 0
+        assert "split s1 -> s1a, s1b" in out
+        assert "epoch 2" in out
+        rc, out = run_cli(capsys, "check", "--shards", root)
+        assert rc == 0
+
+    def test_shard_catchup_noop(self, capsys, tmp_path):
+        root, _ = self._init(capsys, tmp_path)
+        rc, out = run_cli(capsys, "shard-catchup", "--root", root, "--shard", "s0")
+        assert rc == 0
+        assert "caught up s0" in out and "0 record(s)" in out
+
+    def test_shard_split_unknown_shard_exits(self, capsys, tmp_path):
+        root, _ = self._init(capsys, tmp_path)
+        with pytest.raises(SystemExit):
+            main(["shard-split", "--root", root, "--shard", "zz"])

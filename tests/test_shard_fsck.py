@@ -1,0 +1,116 @@
+"""Tests for the shard-set fsck (rules SH01..SH05)."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.analysis import check_shard_set, has_errors
+from repro.data.counties import generate_county
+from repro.service.api import parse_request
+from repro.shard import ShardMap, catch_up_shard, init_shard_set
+from repro.shard.worker import addr_path, open_shard
+
+
+def codes(findings):
+    return {f.rule for f in findings}
+
+
+@pytest.fixture()
+def shard_root(tmp_path):
+    map_data = generate_county("cecil", scale=0.01)
+    root = str(tmp_path / "shards")
+    init_shard_set(root, "R+", map_data=map_data, n_shards=2, page_size=4096)
+    return root
+
+
+class TestCleanSet:
+    def test_no_findings(self, shard_root):
+        assert check_shard_set(shard_root) == []
+
+    def test_shallow_pass_is_also_clean(self, shard_root):
+        assert check_shard_set(shard_root, deep=False) == []
+
+
+class TestDivergence:
+    def test_sh03_after_partial_mutation(self, shard_root):
+        smap = ShardMap.load(shard_root)
+        lagging = smap.shards[1].shard_id
+        _, engine = open_shard(shard_root, smap.shards[0].shard_id)
+        engine.execute(
+            parse_request(
+                {"op": "insert", "x1": 10.0, "y1": 10.0, "x2": 20.0, "y2": 20.0}
+            )
+        )
+        engine.store.close()
+        findings = check_shard_set(shard_root)
+        assert "SH03" in codes(findings)
+        assert has_errors(findings)
+        assert any(lagging in f.detail for f in findings)
+
+    def test_catchup_clears_sh03(self, shard_root):
+        smap = ShardMap.load(shard_root)
+        _, engine = open_shard(shard_root, smap.shards[0].shard_id)
+        engine.execute(
+            parse_request(
+                {"op": "insert", "x1": 10.0, "y1": 10.0, "x2": 20.0, "y2": 20.0}
+            )
+        )
+        engine.store.close()
+        catch_up_shard(shard_root, smap.shards[1].shard_id)
+        assert check_shard_set(shard_root) == []
+
+
+class TestStaleAddress:
+    def test_sh05_for_dead_pid(self, shard_root):
+        smap = ShardMap.load(shard_root)
+        store_root = smap.store_path(shard_root, smap.shards[0].shard_id)
+        with open(addr_path(store_root), "w", encoding="utf-8") as fh:
+            json.dump(
+                {"host": "127.0.0.1", "port": 1, "pid": 2**22 - 1}, fh
+            )
+        findings = check_shard_set(shard_root, deep=False)
+        assert "SH05" in codes(findings)
+        # A stale address is a warning, never an error: workers rewrite
+        # the file on start.
+        assert not has_errors(findings)
+
+    def test_live_pid_is_not_flagged(self, shard_root):
+        smap = ShardMap.load(shard_root)
+        store_root = smap.store_path(shard_root, smap.shards[0].shard_id)
+        with open(addr_path(store_root), "w", encoding="utf-8") as fh:
+            json.dump(
+                {"host": "127.0.0.1", "port": 1, "pid": os.getpid()}, fh
+            )
+        assert check_shard_set(shard_root, deep=False) == []
+
+    def test_unreadable_addr_file_warns(self, shard_root):
+        smap = ShardMap.load(shard_root)
+        store_root = smap.store_path(shard_root, smap.shards[0].shard_id)
+        with open(addr_path(store_root), "w", encoding="utf-8") as fh:
+            fh.write("{nope")
+        findings = check_shard_set(shard_root, deep=False)
+        assert "SH05" in codes(findings)
+        assert not has_errors(findings)
+
+
+class TestStructuralDamage:
+    def test_sh02_for_missing_store(self, shard_root):
+        smap = ShardMap.load(shard_root)
+        shutil.rmtree(smap.store_path(shard_root, smap.shards[1].shard_id))
+        findings = check_shard_set(shard_root)
+        assert "SH02" in codes(findings)
+        assert has_errors(findings)
+
+    def test_sh01_for_missing_manifest(self, shard_root):
+        os.remove(ShardMap.path(shard_root))
+        findings = check_shard_set(shard_root)
+        assert codes(findings) == {"SH01"}
+
+    def test_sh01_for_corrupt_manifest(self, shard_root):
+        with open(ShardMap.path(shard_root), "w", encoding="utf-8") as fh:
+            fh.write("{nope")
+        findings = check_shard_set(shard_root)
+        assert codes(findings) == {"SH01"}
+        assert has_errors(findings)

@@ -1,0 +1,330 @@
+"""End-to-end tests for the sharded map service.
+
+Every structure the paper compares (R*, R+, PMR) gets its own shard
+set, served in-process over loopback TCP behind a scatter-gather
+router, and every routed answer is checked probe-identical to an
+unsharded oracle over the same segments -- including a segment crafted
+to straddle a shard boundary, which cross-shard dedup must report
+exactly once.
+"""
+
+import random
+
+import pytest
+
+from repro.data.counties import generate_county
+from repro.geometry import Segment
+from repro.harness.experiment import STRUCTURE_FACTORIES
+from repro.metric_names import COUNTER_FIELDS
+from repro.obs.metrics import MetricsRegistry
+from repro.service.engine import QueryEngine
+from repro.service.loadgen import bench_serve, parse_address
+from repro.service.server import send_request
+from repro.shard import (
+    LocalShardSet,
+    ShardMap,
+    ShardRouter,
+    init_shard_set,
+    segment_mbr,
+)
+from repro.storage.context import StorageContext
+
+STRUCTURES = ("R*", "R+", "PMR")
+N_SHARDS = 3
+SCALE = 0.01
+PAGE_SIZE = 2048
+
+
+class RoutedService:
+    """One sharded service plus its unsharded oracle."""
+
+    def __init__(self, root, structure):
+        self.map_data = generate_county("cecil", scale=SCALE)
+        self.root = root
+        self.smap = init_shard_set(
+            root,
+            structure,
+            map_data=self.map_data,
+            n_shards=N_SHARDS,
+            page_size=PAGE_SIZE,
+        )
+        ctx = StorageContext.create(page_size=PAGE_SIZE, pool_pages=16)
+        index = STRUCTURE_FACTORIES[structure](ctx)
+        for seg_id in ctx.load_segments(self.map_data.segments):
+            index.insert(seg_id)
+        self.oracle = QueryEngine(index, registry=MetricsRegistry())
+        self.shards = LocalShardSet(root)
+        self.shards.__enter__()
+        self.router = ShardRouter(root)
+        self.router.start_background()
+        self.addr = self.router.address
+
+    def request(self, payload):
+        return send_request(self.addr, payload)
+
+    def close(self):
+        self.router.close()
+        self.shards.__exit__(None, None, None)
+
+
+@pytest.fixture(scope="module", params=STRUCTURES)
+def service(request, tmp_path_factory):
+    root = tmp_path_factory.mktemp(f"shards-{request.param.replace('*', 'star')}")
+    svc = RoutedService(str(root), request.param)
+    yield svc
+    svc.close()
+
+
+class TestRoutedReadsMatchOracle:
+    def test_windows_probe_identical(self, service):
+        rng = random.Random(11)
+        world = service.map_data.world_size
+        for _ in range(12):
+            x, y = rng.uniform(0, world), rng.uniform(0, world)
+            span = rng.uniform(10, world / 3)
+            resp = service.request(
+                {"op": "window", "x1": x, "y1": y, "x2": x + span, "y2": y + span}
+            )
+            assert resp["ok"], resp
+            assert resp["result"] == sorted(
+                service.oracle.window(x, y, x + span, y + span)
+            )
+
+    def test_points_probe_identical(self, service):
+        rng = random.Random(12)
+        for seg in rng.sample(service.map_data.segments, 10):
+            resp = service.request({"op": "point", "x": seg.x1, "y": seg.y1})
+            assert resp["ok"], resp
+            assert resp["result"] == sorted(service.oracle.point(seg.x1, seg.y1))
+
+    def test_nearest_probe_identical(self, service):
+        rng = random.Random(13)
+        world = service.map_data.world_size
+        for _ in range(8):
+            x, y = rng.uniform(0, world), rng.uniform(0, world)
+            k = rng.choice([1, 3, 8])
+            resp = service.request({"op": "nearest", "x": x, "y": y, "k": k})
+            assert resp["ok"], resp
+            got = [seg_id for seg_id, _ in resp["result"]]
+            want = [seg_id for seg_id, _ in service.oracle.nearest(x, y, k=k)]
+            assert got == want
+
+    def test_results_have_no_duplicates(self, service):
+        world = service.map_data.world_size
+        resp = service.request(
+            {"op": "window", "x1": 0, "y1": 0, "x2": world, "y2": world}
+        )
+        assert resp["ok"], resp
+        assert len(resp["result"]) == len(set(resp["result"]))
+
+
+class TestBoundaryStraddlingSegment:
+    def test_straddler_appears_exactly_once(self, service):
+        """A segment indexed by several shards must be reported once.
+
+        The segment is crafted to span two shard extents, inserted
+        through the router (so every shard's table gets it and every
+        covering shard indexes it), then probed by window and point --
+        each must agree with the unsharded oracle, which structurally
+        cannot duplicate.
+        """
+        smap = service.smap
+        extents = [smap.extent(s) for s in smap.shards]
+        e0, e1 = extents[0], extents[-1]
+        seg = Segment(
+            (e0.xmin + e0.xmax) / 2,
+            (e0.ymin + e0.ymax) / 2,
+            (e1.xmin + e1.xmax) / 2,
+            (e1.ymin + e1.ymax) / 2,
+        )
+        covering = [
+            s for s in smap.shards if smap.covers(s, segment_mbr(seg))
+        ]
+        assert len(covering) >= 2, "crafted segment must straddle shards"
+
+        resp = service.request(
+            {"op": "insert", "x1": seg.x1, "y1": seg.y1, "x2": seg.x2, "y2": seg.y2}
+        )
+        assert resp["ok"], resp
+        seg_id = resp["result"]
+        assert seg_id == service.oracle.insert_segment(seg)
+        try:
+            rect = segment_mbr(seg)
+            resp = service.request(
+                {
+                    "op": "window",
+                    "x1": rect.xmin - 1,
+                    "y1": rect.ymin - 1,
+                    "x2": rect.xmax + 1,
+                    "y2": rect.ymax + 1,
+                }
+            )
+            assert resp["ok"], resp
+            assert resp["result"].count(seg_id) == 1
+            assert resp["result"] == sorted(
+                service.oracle.window(
+                    rect.xmin - 1, rect.ymin - 1, rect.xmax + 1, rect.ymax + 1
+                )
+            )
+            resp = service.request({"op": "point", "x": seg.x1, "y": seg.y1})
+            assert resp["ok"], resp
+            assert resp["result"].count(seg_id) == 1
+            assert resp["result"] == sorted(
+                service.oracle.point(seg.x1, seg.y1)
+            )
+        finally:
+            resp = service.request({"op": "delete", "seg_id": seg_id})
+            assert resp["ok"] and resp["result"] is True, resp
+            service.oracle.delete(seg_id)
+
+
+class TestMutationsThroughRouter:
+    def test_insert_delete_parity(self, service):
+        resp = service.request(
+            {"op": "insert", "x1": 5.0, "y1": 5.0, "x2": 9.0, "y2": 9.0}
+        )
+        assert resp["ok"], resp
+        seg_id = resp["result"]
+        assert seg_id == service.oracle.insert_segment(
+            Segment(5.0, 5.0, 9.0, 9.0)
+        )
+        resp = service.request({"op": "delete", "seg_id": seg_id})
+        assert resp["ok"] and resp["result"] is True
+        service.oracle.delete(seg_id)
+        # A second delete is an error on every shard, merged to one.
+        resp = service.request({"op": "delete", "seg_id": seg_id})
+        assert not resp["ok"]
+        assert resp["error"]["code"] == "unknown_seg"
+
+    def test_batch_merges_positionally(self, service):
+        seg = service.map_data.segments[0]
+        resp = service.request(
+            {
+                "op": "batch",
+                "requests": [
+                    {"op": "point", "x": seg.x1, "y": seg.y1},
+                    {"op": "window", "x1": 0, "y1": 0, "x2": 500, "y2": 500},
+                ],
+            }
+        )
+        assert resp["ok"], resp
+        results = resp["result"]["results"]
+        assert results[0] == sorted(service.oracle.point(seg.x1, seg.y1))
+        assert results[1] == sorted(service.oracle.window(0, 0, 500, 500))
+
+
+class TestCounterMerge:
+    def test_router_totals_are_shard_sums(self, service):
+        # Push some traffic first so the counters are warm.
+        world = service.map_data.world_size
+        for _ in range(3):
+            service.request(
+                {"op": "window", "x1": 0, "y1": 0, "x2": world / 2, "y2": world / 2}
+            )
+        resp = service.request({"op": "stats"})
+        assert resp["ok"], resp
+        stats = resp["result"]
+        assert stats["counters_consistent"] is True
+        for name in COUNTER_FIELDS:
+            assert stats["totals"][name] == sum(
+                stats["shards"][sid]["totals"][name]
+                for sid in stats["shards"]
+            )
+
+    def test_explain_merge_stays_exact(self, service):
+        world = service.map_data.world_size
+        resp = service.request(
+            {
+                "op": "explain",
+                "query": {
+                    "op": "window",
+                    "x1": 0,
+                    "y1": 0,
+                    "x2": world / 4,
+                    "y2": world / 4,
+                },
+            }
+        )
+        assert resp["ok"], resp
+        assert resp["result"]["exact"] is True
+
+
+class TestDegradationAndHealing:
+    def test_down_shard_reports_structured_partial(self, service):
+        world = service.map_data.world_size
+        down = sorted(service.router.clients)[0]
+        service.shards.stop(down)
+        try:
+            resp = service.request(
+                {"op": "window", "x1": 0, "y1": 0, "x2": world, "y2": world}
+            )
+            assert not resp["ok"], resp
+            assert resp["error"]["code"] == "shard_unavailable"
+            assert resp["error"]["shard"] == down
+            assert "partial" in resp
+            assert resp["partial"]["shards"]
+        finally:
+            service.shards.start(down)
+        # Restart heals without touching the router (it re-reads the
+        # worker's published address on the next request).
+        resp = service.request(
+            {"op": "window", "x1": 0, "y1": 0, "x2": world, "y2": world}
+        )
+        assert resp["ok"], resp
+        assert resp["result"] == sorted(service.oracle.window(0, 0, world, world))
+
+
+class TestLoadgenConnect:
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8765") == ("127.0.0.1", 8765)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+        with pytest.raises(ValueError):
+            parse_address("host:NaN")
+
+    def test_round_robin_across_addresses(self, service):
+        # Round-robin the read-only workload across the router and one
+        # worker address; every request must succeed.
+        worker_addr = next(iter(service.shards.servers.values())).address
+        addresses = [
+            service.addr,
+            (worker_addr[0], worker_addr[1]),
+        ]
+        report = bench_serve(
+            threads=2,
+            requests=24,
+            connect=addresses,
+            world_size=service.map_data.world_size,
+        )
+        assert report.errors == 0
+        assert report.requests == 24
+        assert report.source.startswith("connect:")
+
+    def test_connect_reports_routed_structure(self, service):
+        report = bench_serve(
+            threads=1,
+            requests=6,
+            connect=[service.addr],
+            world_size=service.map_data.world_size,
+        )
+        assert report.errors == 0
+        assert report.structure == f"routed[{N_SHARDS}]"
+
+
+class TestShardSetChecks:
+    def test_routed_check_is_clean(self, service):
+        resp = service.request({"op": "check"})
+        assert resp["ok"], resp
+        assert resp["result"]["clean"] is True
+
+    def test_health_lists_every_shard(self, service):
+        resp = service.request({"op": "health"})
+        assert resp["ok"], resp
+        assert sorted(resp["result"]["shards"]) == sorted(
+            s.shard_id for s in service.smap.shards
+        )
+
+    def test_reload_is_a_noop_at_same_epoch(self, service):
+        resp = service.request({"op": "reload"})
+        assert resp["ok"], resp
+        assert resp["result"]["epoch"] == ShardMap.load(service.root).epoch
