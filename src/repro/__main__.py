@@ -142,8 +142,30 @@ def _open_or_create_store(args):
         sys.exit(f"error: cannot recover {args.wal}: {exc}")
 
 
+def _maybe_enable_sanitizer(args) -> bool:
+    """Honor ``--sanitize`` (REPRO_SANITIZE=1 enables it at import time)."""
+    from repro.sanitize import SANITIZER
+
+    if getattr(args, "sanitize", False):
+        SANITIZER.enable()
+    return SANITIZER.enabled
+
+
+def _sanitizer_verdict() -> int:
+    """Print the sanitizer report; returns the potential-deadlock count."""
+    from repro.sanitize import SANITIZER
+
+    if not SANITIZER.enabled:
+        return 0
+    report = SANITIZER.report()
+    print(SANITIZER.format_report(), flush=True)
+    return len(report["potential_deadlocks"])
+
+
 def _cmd_serve(args) -> int:
     from repro.service import MapServer, QueryEngine
+
+    _maybe_enable_sanitizer(args)
 
     store = None
     if args.wal:
@@ -177,7 +199,7 @@ def _cmd_serve(args) -> int:
         server.server_close()
         if store is not None:
             store.close()
-    return 0
+    return 1 if _sanitizer_verdict() else 0
 
 
 def _cmd_checkpoint(args) -> int:
@@ -226,6 +248,7 @@ def _cmd_bench_serve(args) -> int:
     from repro.service import bench_serve, format_bench_report
     from repro.storage import CodecError
 
+    _maybe_enable_sanitizer(args)
     connect = None
     if args.connect:
         from repro.service.loadgen import parse_address
@@ -253,7 +276,8 @@ def _cmd_bench_serve(args) -> int:
     except CodecError as exc:
         sys.exit(f"error: cannot open {args.snapshot}: {exc}")
     print(format_bench_report(report))
-    if report.errors or not report.counters_consistent:
+    deadlocks = _sanitizer_verdict()
+    if report.errors or not report.counters_consistent or deadlocks:
         return 1
     return 0
 
@@ -290,6 +314,7 @@ def _cmd_shard_worker(args) -> int:
     from repro.errors import WalError
     from repro.shard import serve_shard
 
+    _maybe_enable_sanitizer(args)
     try:
         server = serve_shard(
             args.root,
@@ -314,13 +339,14 @@ def _cmd_shard_worker(args) -> int:
     finally:
         server.server_close()
         server.engine.store.close()
-    return 0
+    return 1 if _sanitizer_verdict() else 0
 
 
 def _cmd_route(args) -> int:
     from repro.errors import WalError
     from repro.shard import ShardRouter
 
+    _maybe_enable_sanitizer(args)
     try:
         router = ShardRouter(
             args.root, host=args.host, port=args.port, timeout=args.timeout
@@ -340,7 +366,7 @@ def _cmd_route(args) -> int:
         pass
     finally:
         router.close()
-    return 0
+    return 1 if _sanitizer_verdict() else 0
 
 
 def _cmd_shard_split(args) -> int:
@@ -604,8 +630,15 @@ def _cmd_lint(args) -> int:
     if not iter_python_files(args.paths):
         print(f"error: no python files under {args.paths}", file=sys.stderr)
         return 2
-    findings = lint_paths(args.paths)
-    print(format_findings(findings, title=f"lint {' '.join(args.paths)}"))
+    if args.concurrency:
+        from repro.analysis import lint_concurrency_paths
+
+        findings = lint_concurrency_paths(args.paths)
+        title = f"concurrency lint {' '.join(args.paths)}"
+    else:
+        findings = lint_paths(args.paths)
+        title = f"lint {' '.join(args.paths)}"
+    print(format_findings(findings, title=title))
     return 1 if findings else 0
 
 
@@ -672,6 +705,12 @@ def main(argv=None) -> int:
         default=None,
         help="log queries slower than this many milliseconds",
     )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime lock-order sanitizer (report on exit; "
+        "exit 1 on a potential deadlock)",
+    )
 
     for name, helptext in (
         ("checkpoint", "fold a durable store's log into a fresh snapshot"),
@@ -710,6 +749,12 @@ def main(argv=None) -> int:
         "the flag to round-robin client threads across addresses (e.g. a "
         "shard router plus direct workers)",
     )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the bench under the lock-order sanitizer (exit 1 on a "
+        "potential deadlock)",
+    )
 
     p = sub.add_parser(
         "shard-init",
@@ -737,6 +782,11 @@ def main(argv=None) -> int:
     p.add_argument("--port", type=int, default=0, help="0 = ephemeral")
     p.add_argument("--group-commit", type=int, default=1)
     p.add_argument("--slow-ms", type=float, default=None)
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime lock-order sanitizer for this worker",
+    )
 
     p = sub.add_parser(
         "route", help="scatter-gather router over a shard set's workers"
@@ -749,6 +799,11 @@ def main(argv=None) -> int:
         type=float,
         default=5.0,
         help="per-shard request timeout in seconds",
+    )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime lock-order sanitizer for the router",
     )
 
     p = sub.add_parser(
@@ -870,9 +925,14 @@ def main(argv=None) -> int:
         "durable-store walk on every member)",
     )
 
-    p = sub.add_parser("lint", help="project AST lint (RP rules)")
+    p = sub.add_parser("lint", help="project AST lint (RP measurement rules, CC concurrency rules)")
     p.add_argument("paths", nargs="*", default=["src/"], help="files or directories")
     p.add_argument("--rules", action="store_true", help="list lint rules and exit")
+    p.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the lock-discipline pass (CC01..CC05) instead of the RP rules",
+    )
 
     args = parser.parse_args(argv)
 

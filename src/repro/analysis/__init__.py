@@ -10,8 +10,12 @@ Two pillars, both producing structured
   plus the storage bookkeeping (inventories, free list, segment table)
   without executing queries or moving a counter.
 * :mod:`repro.analysis.lint` -- an AST pass enforcing the measurement
-  and concurrency discipline of this codebase (RP01..RP05; see the
-  module docstring for the rules and the suppression syntax).
+  discipline of this codebase (RP01..RP05; see the module docstring
+  for the rules and the suppression syntax).
+* :mod:`repro.analysis.concurrency` -- a whole-program lock-discipline
+  pass (CC01..CC05): lock-order inversions, blocking calls under a
+  lock, lockset violations, manual acquire/release, unowned threads.
+  Its runtime complement is :mod:`repro.sanitize`.
 * :mod:`repro.analysis.fsck_wal` -- ``check_wal`` / ``check_durable``
   extend the fsck to the durability layer (rules FS07..FS10: log
   framing and CRCs, LSN contiguity, checkpoint-manifest vs. snapshot
@@ -23,9 +27,9 @@ Two pillars, both producing structured
   every member store.
 
 CLI: ``python -m repro check`` (``--wal DIR`` for a durable store,
-``--shards DIR`` for a shard set) and ``python -m repro lint``;
-service hook: ``{"op": "check"}`` against a running map server or
-shard router.
+``--shards DIR`` for a shard set), ``python -m repro lint``, and
+``python -m repro lint --concurrency``; service hook: ``{"op":
+"check"}`` against a running map server or shard router.
 """
 
 from repro.analysis.findings import (
@@ -37,6 +41,11 @@ from repro.analysis.findings import (
     format_findings,
     has_errors,
     sort_findings,
+)
+from repro.analysis.concurrency import (
+    lint_concurrency_paths,
+    lint_concurrency_source,
+    lint_concurrency_sources,
 )
 from repro.analysis.fsck import check_index, check_snapshot
 from repro.analysis.fsck_shards import check_shard_set
@@ -56,6 +65,9 @@ __all__ = [
     "check_wal",
     "format_findings",
     "has_errors",
+    "lint_concurrency_paths",
+    "lint_concurrency_source",
+    "lint_concurrency_sources",
     "lint_file",
     "lint_paths",
     "lint_source",

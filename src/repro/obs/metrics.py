@@ -27,6 +27,7 @@ from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.metric_names import COUNTER_FIELDS
+from repro.sanitize import make_lock
 
 #: The MetricsCounters field names, re-exported so metrics consumers can
 #: iterate the paper counters without importing the storage layer (and so
@@ -49,6 +50,9 @@ class Counter:
         self.name = name
         self.labels = labels
         self._value = 0
+        # Leaf lock on the request hot path: never held while acquiring
+        # another lock, so it stays a raw threading.Lock instead of a
+        # sanitizer-tracked one (no ordering edges to learn from it).
         self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
@@ -87,7 +91,7 @@ class Gauge:
         self.name = name
         self.labels = labels
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # leaf lock, never nested (see Counter)
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -118,7 +122,7 @@ class LatencyHistogram:
         self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
         self.total = 0
         self.sum_seconds = 0.0
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # leaf lock, never nested (see Counter)
 
     def observe(self, seconds: float) -> None:
         idx = self._bucket_index(seconds)
@@ -214,7 +218,7 @@ class SlowQueryLog:
         self.capacity = capacity
         self.recorded = 0
         self._entries: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.slow_query_log")
 
     @property
     def enabled(self) -> bool:
@@ -272,7 +276,7 @@ class MetricsRegistry:
         self._histograms: Dict[
             Tuple[str, Tuple[Tuple[str, str], ...]], LatencyHistogram
         ] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics_registry")
 
     def counter(self, name: str, **labels: str) -> Counter:
         key = (name, _label_key(labels))

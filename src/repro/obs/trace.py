@@ -34,6 +34,8 @@ import time
 from collections import deque
 from typing import Any, Dict, List, Optional
 
+from repro.sanitize import make_lock
+
 
 class _SpanHandle:
     """Context manager for one open span (internal; reuse via Tracer)."""
@@ -97,8 +99,8 @@ class Tracer:
         #: thread-local.
         self.profiling = 0
         self._ring: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
-        self._ring_lock = threading.Lock()
-        self._profiling_lock = threading.Lock()
+        self._ring_lock = make_lock("obs.trace.ring")
+        self._profiling_lock = make_lock("obs.trace.profiling")
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -118,10 +120,10 @@ class Tracer:
             if max_events < 1:
                 raise ValueError(f"max_events must be >= 1, got {max_events}")
             self.max_events = max_events
-        self.enabled = True
+        self.enabled = True  # repro-lint: disable=CC03 -- benign single-writer flag: hooks read it lock-free by design (constraint 1); a stale read means one skipped trace, never corruption
 
     def disable(self) -> None:
-        self.enabled = False
+        self.enabled = False  # repro-lint: disable=CC03 -- benign single-writer flag: see enable(); readers tolerate staleness
 
     def clear(self) -> None:
         """Drop every finished trace (the stats counters are kept)."""
@@ -150,7 +152,8 @@ class Tracer:
             "_t0": time.perf_counter(),
         }
         self._local.stack = [root]
-        self.started += 1
+        with self._ring_lock:  # exact under concurrency, like finished/evicted
+            self.started += 1
         return root
 
     def active(self) -> bool:

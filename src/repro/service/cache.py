@@ -11,9 +11,10 @@ window).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Tuple
+
+from repro.sanitize import make_lock
 
 
 class ResultCache:
@@ -28,7 +29,7 @@ class ResultCache:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.cache")
         self.hits = 0
         self.misses = 0
         self.evictions = 0

@@ -43,7 +43,6 @@ shared stack safe and attributable:
 from __future__ import annotations
 
 import itertools
-import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
@@ -77,6 +76,7 @@ from repro.service.api import (
     WindowQuery,
 )
 from repro.metric_names import COUNTER_FIELDS
+from repro.sanitize import SANITIZER, make_lock
 from repro.storage.counters import MetricsCounters
 from repro.storage.latch import Latch
 
@@ -128,7 +128,7 @@ class QueryEngine:
         self.registry = registry if registry is not None else get_registry()
         self.slow_log = SlowQueryLog(slow_ms, capacity=slow_log_capacity)
         self._sessions: Dict[str, QuerySession] = {}
-        self._sessions_lock = threading.Lock()
+        self._sessions_lock = make_lock("service.engine.sessions")
         self._anon = itertools.count(1)
         self._batch = None
         # Per-op metric handles, resolved once so the hot path is a single
@@ -689,6 +689,8 @@ class QueryEngine:
                     "slow_queries": self.slow_log.stats(),
                 },
             }
+            if SANITIZER.enabled:
+                snapshot["sanitizer"] = SANITIZER.report()
             if self.store is not None:
                 wal_stats = self.store.stats()
                 snapshot["last_lsn"] = wal_stats["last_lsn"]

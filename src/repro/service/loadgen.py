@@ -167,18 +167,30 @@ def _client(
     latencies: List[float],
     errors: List[int],
 ) -> None:
-    """One client thread: a single connection, requests in sequence."""
+    """One client thread: a single connection, requests in sequence.
+
+    Always terminates and always appends to ``errors`` exactly once:
+    a dead or dying server turns the unsent remainder into counted
+    failures instead of killing the thread with a traceback (the
+    spawner joins unconditionally and must be able to trust the
+    accounting it joins on).
+    """
     failed = 0
-    with socket.create_connection(address, timeout=60.0) as sock:
-        with sock.makefile("rwb") as fh:
-            for request in requests:
-                start = time.perf_counter()
-                fh.write(json.dumps(request, separators=(",", ":")).encode("utf-8") + b"\n")
-                fh.flush()
-                line = fh.readline()
-                latencies.append(time.perf_counter() - start)
-                if not line or not json.loads(line).get("ok"):
-                    failed += 1
+    sent = 0
+    try:
+        with socket.create_connection(address, timeout=60.0) as sock:
+            with sock.makefile("rwb") as fh:
+                for request in requests:
+                    start = time.perf_counter()
+                    fh.write(json.dumps(request, separators=(",", ":")).encode("utf-8") + b"\n")
+                    fh.flush()
+                    line = fh.readline()
+                    sent += 1
+                    latencies.append(time.perf_counter() - start)
+                    if not line or not json.loads(line).get("ok"):
+                        failed += 1
+    except OSError:
+        failed += len(requests) - sent  # connection lost: rest never ran
     errors.append(failed)
 
 
@@ -206,6 +218,7 @@ def _connect_bench(
     workers = [
         _threading.Thread(
             target=_client,
+            name=f"loadgen-{i}",
             args=(
                 addresses[i % len(addresses)],
                 shares[i],
@@ -324,6 +337,7 @@ def bench_serve(
         workers = [
             _threading.Thread(
                 target=_client,
+                name=f"loadgen-{i}",
                 args=(server.address, shares[i], per_thread[i], errors),
             )
             for i in range(threads)
@@ -376,8 +390,7 @@ def bench_serve(
     finally:
         if trace and not was_tracing:
             TRACER.disable()
-        server.shutdown()
-        server.server_close()
+        server.stop()  # joins the accept thread: nothing outlives the bench
     return report
 
 

@@ -127,6 +127,7 @@ class MapServer(socketserver.ThreadingTCPServer):
         self.engine = engine
         self.batch = engine.batch
         self.connection_ids = itertools.count(1)
+        self._serve_thread: Optional[threading.Thread] = None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -134,12 +135,29 @@ class MapServer(socketserver.ThreadingTCPServer):
         return host, port
 
     def start_background(self) -> threading.Thread:
-        """Serve on a daemon thread; returns the (started) thread."""
+        """Serve on a daemon thread; returns the (started) thread.
+
+        The thread is remembered so :meth:`stop` can join it -- daemon
+        status keeps a crashed test from hanging the process, but an
+        orderly shutdown must not race the accept loop.
+        """
         thread = threading.Thread(
             target=self.serve_forever, name="map-server", daemon=True
         )
+        self._serve_thread = thread
         thread.start()
         return thread
+
+    def stop(self) -> None:
+        """Deterministic shutdown: stop serving, close the socket, and
+        join the background accept thread. After stop() returns, no
+        server-owned thread is live (handler threads are daemons tied to
+        connections, which ``server_close`` severs in subclasses)."""
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
 
     # ------------------------------------------------------------------
     # Request dispatch

@@ -55,6 +55,7 @@ from repro.metric_names import (
 from repro.obs.explain import merge_explain_reports
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import merge_prom_texts
+from repro.sanitize import make_condition, make_lock
 from repro.service.api import (
     BatchRequest,
     Delete,
@@ -101,7 +102,10 @@ class ShardClient:
         self.shard_id = shard_id
         self.store_root = os.fspath(store_root)
         self.timeout = timeout
-        self._lock = threading.Lock()
+        # Serializes this one connection: request/reply framing on the
+        # socket is not interleavable, so the blocking I/O below happens
+        # under this lock by design. No other lock is ever taken inside.
+        self._lock = make_lock(f"shard.client.{shard_id}")
         self._sock: Optional[socket.socket] = None
         self._fh = None
 
@@ -117,7 +121,7 @@ class ShardClient:
         except (OSError, ValueError, KeyError, TypeError) as exc:
             raise self._unavailable(f"no usable address file ({exc})") from exc
         try:
-            self._sock = socket.create_connection(
+            self._sock = socket.create_connection(  # repro-lint: disable=CC02 -- the client lock exists to serialize this socket; connect is bounded by self.timeout and no other lock nests inside
                 (host, port), timeout=self.timeout
             )
             self._fh = self._sock.makefile("rwb")
@@ -143,7 +147,7 @@ class ShardClient:
     def _roundtrip(self, line: bytes) -> bytes:
         self._fh.write(line)
         self._fh.flush()
-        return self._fh.readline()
+        return self._fh.readline()  # repro-lint: disable=CC02 -- socket read under the connection-serializing lock: that is the lock's whole job; bounded by the socket timeout, never nests another lock
 
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one request, returning the shard's response envelope.
@@ -255,12 +259,13 @@ class ShardRouter(socketserver.ThreadingTCPServer):
         self.timeout = timeout
         self.connection_ids = itertools.count(1)
         self.registry = MetricsRegistry()
-        self._gate = threading.Condition()
+        self._gate = make_condition("shard.router.gate")
         self._active = 0
         self._draining = False
         self.shard_map: ShardMap = ShardMap.load(self.root)
         self.clients: Dict[str, ShardClient] = {}
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._serve_thread: Optional[threading.Thread] = None
         self._build_clients()
 
     def _build_clients(self) -> None:
@@ -291,16 +296,24 @@ class ShardRouter(socketserver.ThreadingTCPServer):
         thread = threading.Thread(
             target=self.serve_forever, name="shard-router", daemon=True
         )
+        self._serve_thread = thread  # repro-lint: disable=CC03 -- lifecycle field: start_background/close are called by the single owning thread, never concurrently with each other
         thread.start()
         return thread
 
     def close(self) -> None:
+        """Shut down deterministically: stop serving, join the
+        background accept thread (if one was started), then release every
+        client connection and the scatter pool. After close() returns no
+        router thread is live and no socket is open."""
         self.shutdown()
         self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None  # repro-lint: disable=CC03 -- lifecycle field: see start_background; close runs after serving stopped
         for client in self.clients.values():
             client.close()
         if self._pool is not None:
-            self._pool.shutdown(wait=False)
+            self._pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     # Drain gate and manifest reload

@@ -30,13 +30,13 @@ from __future__ import annotations
 import json
 import os
 import socket
-import threading
 from typing import Any, Dict, Optional
 
 from repro.geometry import Rect
 from repro.harness.experiment import STRUCTURE_FACTORIES
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TRACER
+from repro.sanitize import make_lock
 from repro.service.engine import QueryEngine, QuerySession
 from repro.service.server import MapServer
 from repro.shard.manifest import ShardMap, cell_weights, segment_mbr
@@ -206,7 +206,7 @@ class ShardServer(MapServer):
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         self._conns: set = set()
-        self._conns_lock = threading.Lock()
+        self._conns_lock = make_lock("shard.server.conns")
         super().__init__(*args, **kwargs)
 
     def get_request(self):
@@ -346,8 +346,7 @@ class LocalShardSet:
 
     def stop(self, shard_id: str) -> None:
         server = self.servers.pop(shard_id)
-        server.shutdown()
-        server.server_close()
+        server.stop()  # joins the accept thread: no lingering server thread
         server.engine.store.close()
 
     def __exit__(self, *exc: Any) -> None:

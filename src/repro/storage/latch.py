@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.sanitize import SANITIZER
+
 
 class Latch:
     """A reentrant lock with acquisition statistics.
@@ -45,6 +47,8 @@ class Latch:
             self._holder = me
             self._depth = 1
             self._record_acquire(contended)
+            if SANITIZER.enabled:
+                SANITIZER.note_acquire(f"latch:{self.name}")
         except BaseException:
             # Bookkeeping failed after the lock was obtained: back out
             # completely rather than leave a held lock with no holder.
@@ -65,6 +69,8 @@ class Latch:
             raise RuntimeError(f"latch {self.name!r} released by non-holder")
         self._depth -= 1
         if self._depth == 0:
+            if SANITIZER.enabled:
+                SANITIZER.note_release(f"latch:{self.name}")
             self._holder = None
             self._lock.release()
 

@@ -33,6 +33,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.sanitize import SANITIZER
 from repro.core.interface import WORLD_DEPTH, WORLD_SIZE
 from repro.core.pmr.locational import hilbert_index, interleave
 from repro.geometry import Point, Segment
@@ -53,6 +54,10 @@ class SimulatedCrash(RuntimeError):
 
 
 def _fsync_dir(root: str) -> None:
+    if SANITIZER.enabled:
+        # The checkpoint path runs these fsyncs under the engine latch
+        # (a sanctioned quiescent point); the tally makes that visible.
+        SANITIZER.note_blocking("fsync", "wal.store:_fsync_dir")
     fd = os.open(root, os.O_RDONLY)
     try:
         os.fsync(fd)

@@ -123,3 +123,26 @@ def oracle_nearest_dist2(segments: List[Segment], p: Point) -> float:
 def any_structure(request):
     """Parametrize a test over every index structure."""
     return request.param
+
+
+@pytest.fixture()
+def lock_sanitizer():
+    """Run one test under the runtime lock-order sanitizer.
+
+    Enables :data:`repro.sanitize.SANITIZER` for the test's duration and
+    asserts at teardown that the test's schedule produced **no potential
+    deadlock** -- i.e. the global lock-ordering graph stayed acyclic.
+    Suites whose value is concurrency coverage (crash injection, the
+    sharded service) opt in module-wide with
+    ``pytestmark = pytest.mark.usefixtures("lock_sanitizer")``.
+    """
+    from repro.sanitize import SANITIZER
+
+    SANITIZER.reset()
+    SANITIZER.enable()
+    yield SANITIZER
+    report = SANITIZER.report()
+    text = SANITIZER.format_report()
+    SANITIZER.disable()
+    SANITIZER.reset()
+    assert report["potential_deadlocks"] == [], text

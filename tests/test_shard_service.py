@@ -29,6 +29,12 @@ from repro.shard import (
 )
 from repro.storage.context import StorageContext
 
+# The sharded suite is the most thread-dense path in the repo (router
+# scatter pool + per-shard servers + WAL commits); run all of it under
+# the runtime lock-order sanitizer so any ordering cycle fails the test
+# that first exhibits it, deadlock or not.
+pytestmark = pytest.mark.usefixtures("lock_sanitizer")
+
 STRUCTURES = ("R*", "R+", "PMR")
 N_SHARDS = 3
 SCALE = 0.01

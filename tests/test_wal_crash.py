@@ -20,6 +20,12 @@ import pytest
 
 from repro.wal.crashtest import STRUCTURES, run_crash_matrix
 
+# The whole module runs under the runtime lock-order sanitizer: recovery
+# and checkpointing take the WAL lock and the pool latch in sequence, and
+# any inversion introduced here must fail the suite even on schedules
+# that happen not to deadlock.
+pytestmark = pytest.mark.usefixtures("lock_sanitizer")
+
 
 @pytest.mark.parametrize("kind", STRUCTURES)
 def test_crash_matrix(kind, tmp_path):
