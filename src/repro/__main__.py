@@ -55,6 +55,19 @@ The sharding layer (:mod:`repro.shard`) splits the map across workers::
     python -m repro bench --routed --json BENCH_shard.json
                                                  # routed perf-baseline record
 
+The async layer (:mod:`repro.aio`) serves the same engine from one
+event loop, with the pipelined wire protocol v2::
+
+    python -m repro serve --snapshot county.snap --async
+                                                 # asyncio server (v1 + v2)
+    python -m repro route --root shards/ --async # asyncio scatter-gather
+    python -m repro bench-serve --async --threads 20 --pipeline 8
+                                                 # pipelined connections
+    python -m repro bench-serve --async --mutate-frac 0.2 --wal store/
+                                                 # measures group commit
+    python -m repro bench --serve --json BENCH_serve.json
+                                                 # threaded-vs-async record
+
 The static-analysis layer adds two::
 
     python -m repro check county.snap            # index fsck (snapshot)
@@ -183,7 +196,44 @@ def _cmd_serve(args) -> int:
         store=store,
         slow_ms=args.slow_ms,
     )
-    server = MapServer(engine, host=args.host, port=args.port)
+    idle_timeout = args.idle_timeout if args.idle_timeout > 0 else None
+    if args.use_async:
+        import asyncio
+
+        from repro.aio import AsyncMapServer
+
+        server = AsyncMapServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            idle_timeout=idle_timeout,
+            max_inflight_per_conn=args.max_inflight_conn,
+            max_inflight_total=args.max_inflight,
+            executor_workers=args.executor_workers,
+        )
+
+        async def _serve() -> None:
+            await server.start()
+            host, port = server.address
+            print(
+                f"serving {index.name} ({len(index.ctx.segments)} segments) "
+                f"on {host}:{port} -- asyncio front end: v1 newline JSON "
+                f'plus pipelined wire protocol v2 (pin {{"v": 2}})',
+                flush=True,
+            )
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            if store is not None:
+                store.close()
+        return 1 if _sanitizer_verdict() else 0
+    server = MapServer(
+        engine, host=args.host, port=args.port, idle_timeout=idle_timeout
+    )
     host, port = server.address
     print(
         f"serving {index.name} ({len(index.ctx.segments)} segments) "
@@ -257,6 +307,33 @@ def _cmd_bench_serve(args) -> int:
             connect = [parse_address(spec) for spec in args.connect]
         except ValueError as exc:
             sys.exit(f"error: {exc}")
+    if args.use_async:
+        from repro.aio import bench_serve_async, format_async_bench_report
+
+        try:
+            areport = bench_serve_async(
+                county=args.county,
+                scale=args.scale,
+                structure=args.structure,
+                connections=args.threads,
+                pipeline=args.pipeline,
+                requests=args.requests,
+                snapshot=args.snapshot,
+                cache_capacity=args.cache_size,
+                seed=args.seed,
+                connect=connect,
+                wal_dir=args.wal,
+                mutate_frac=args.mutate_frac,
+            )
+        except FileNotFoundError:
+            sys.exit(f"error: snapshot not found: {args.snapshot}")
+        except CodecError as exc:
+            sys.exit(f"error: cannot open {args.snapshot}: {exc}")
+        print(format_async_bench_report(areport))
+        deadlocks = _sanitizer_verdict()
+        if areport.errors or not areport.counters_consistent or deadlocks:
+            return 1
+        return 0
     try:
         report = bench_serve(
             county=args.county,
@@ -347,6 +424,34 @@ def _cmd_route(args) -> int:
     from repro.shard import ShardRouter
 
     _maybe_enable_sanitizer(args)
+    if args.use_async:
+        import asyncio
+
+        from repro.aio import AsyncShardRouter
+
+        try:
+            router = AsyncShardRouter(
+                args.root, host=args.host, port=args.port, timeout=args.timeout
+            )
+        except (FileNotFoundError, ValueError, WalError) as exc:
+            sys.exit(f"error: cannot open shard set {args.root}: {exc}")
+
+        async def _serve() -> None:
+            await router.start()
+            host, port = router.address
+            print(
+                f"routing {len(router.clients)} shard(s) of {args.root} on "
+                f"{host}:{port} (epoch {router.shard_map.epoch}) -- asyncio "
+                f"front end: v1 newline JSON plus pipelined wire protocol v2",
+                flush=True,
+            )
+            await router.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        return 1 if _sanitizer_verdict() else 0
     try:
         router = ShardRouter(
             args.root, host=args.host, port=args.port, timeout=args.timeout
@@ -516,7 +621,12 @@ def _cmd_bench(args) -> int:
     """Run the fixed benchmark workload; optionally gate on a baseline."""
     import json
 
-    from repro.bench import run_bench, run_shard_bench, write_record
+    from repro.bench import (
+        run_bench,
+        run_serve_bench,
+        run_shard_bench,
+        write_record,
+    )
     from repro.bench.compare import (
         EXIT_INCOMPARABLE,
         compare_records,
@@ -524,24 +634,43 @@ def _cmd_bench(args) -> int:
     )
     from repro.metric_names import PAPER_METRICS
 
-    params = {
-        "county": args.county,
-        "scale": args.scale,
-        "n_queries": args.queries,
-        "seed": args.seed,
-    }
-    if args.routed:
-        params["n_shards"] = args.n_shards
-        record = run_shard_bench(params)
+    if args.serve:
+        record = run_serve_bench({"seed": args.seed})
     else:
-        record = run_bench(params)
+        params = {
+            "county": args.county,
+            "scale": args.scale,
+            "n_queries": args.queries,
+            "seed": args.seed,
+        }
+        if args.routed:
+            params["n_shards"] = args.n_shards
+            record = run_shard_bench(params)
+        else:
+            record = run_bench(params)
     if args.json:
         write_record(record, args.json)
         print(f"wrote {args.json} ({record['git_sha']})")
-    for name, entry in record["structures"].items():
-        totals = entry["totals"]
-        summary = ", ".join(f"{m}={totals[m]}" for m in PAPER_METRICS)
-        print(f"  {name}: {summary}")
+    if args.serve:
+        for mode, entry in record["modes"].items():
+            wall = entry["wall"]
+            print(
+                f"  {mode}: {entry['connections']} conns, "
+                f"{entry['requests']} requests, {entry['errors']} errors, "
+                f"p50={wall['p50_ms']:.2f}ms p99={wall['p99_ms']:.2f}ms"
+            )
+        gc = record["modes"]["async"].get("group_commit") or {}
+        if gc.get("mutations"):
+            print(
+                f"  group commit: {gc['mutations']} mutations -> "
+                f"{gc['fsyncs']} fsyncs "
+                f"({gc['fsyncs_per_mutation']:.2f} fsyncs/mutation)"
+            )
+    else:
+        for name, entry in record["structures"].items():
+            totals = entry["totals"]
+            summary = ", ".join(f"{m}={totals[m]}" for m in PAPER_METRICS)
+            print(f"  {name}: {summary}")
     if args.compare:
         try:
             baseline = load_record(args.compare)
@@ -711,6 +840,39 @@ def main(argv=None) -> int:
         help="enable the runtime lock-order sanitizer (report on exit; "
         "exit 1 on a potential deadlock)",
     )
+    p.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve from one asyncio event loop instead of a thread per "
+        "connection; adds the pipelined wire protocol v2",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="close a connection idle for this many seconds (0 = never)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=1024,
+        help="global in-flight request cap before server_overloaded "
+        "(--async only)",
+    )
+    p.add_argument(
+        "--max-inflight-conn",
+        type=int,
+        default=64,
+        help="per-connection in-flight cap before server_overloaded "
+        "(--async only)",
+    )
+    p.add_argument(
+        "--executor-workers",
+        type=int,
+        default=4,
+        help="engine executor threads behind the event loop (--async only)",
+    )
 
     for name, helptext in (
         ("checkpoint", "fold a durable store's log into a fresh snapshot"),
@@ -754,6 +916,32 @@ def main(argv=None) -> int:
         action="store_true",
         help="run the bench under the lock-order sanitizer (exit 1 on a "
         "potential deadlock)",
+    )
+    p.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="drive an AsyncMapServer with pipelined v2 connections "
+        "(--threads becomes the connection count)",
+    )
+    p.add_argument(
+        "--pipeline",
+        type=int,
+        default=8,
+        help="requests kept in flight per connection (--async only)",
+    )
+    p.add_argument(
+        "--mutate-frac",
+        type=float,
+        default=0.0,
+        help="share of requests that are inserts (--async only; pair with "
+        "--wal to measure group commit)",
+    )
+    p.add_argument(
+        "--wal",
+        default=None,
+        help="serve durably from this directory for the async bench "
+        "(enables the group-commit measurement)",
     )
 
     p = sub.add_parser(
@@ -804,6 +992,13 @@ def main(argv=None) -> int:
         "--sanitize",
         action="store_true",
         help="enable the runtime lock-order sanitizer for the router",
+    )
+    p.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve the router from one asyncio event loop; adds the "
+        "pipelined wire protocol v2 in front of the shard set",
     )
 
     p = sub.add_parser(
@@ -900,6 +1095,12 @@ def main(argv=None) -> int:
         type=int,
         default=4,
         help="shard count for --routed (part of the record's params)",
+    )
+    p.add_argument(
+        "--serve",
+        action="store_true",
+        help="bench the serving path instead: threaded vs async front "
+        "ends under load; emits a repro-serve-bench record",
     )
 
     p = sub.add_parser("check", help="static index fsck (no queries executed)")

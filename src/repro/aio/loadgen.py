@@ -1,0 +1,378 @@
+"""``python -m repro bench-serve --async``: the pipelined load generator.
+
+Where the threaded loadgen is closed-loop (K threads, one in-flight
+request each), this one is a saturation bench: C connections to an
+:class:`~repro.aio.server.AsyncMapServer`, each keeping up to P requests
+pipelined over wire protocol v2. C is bounded by file descriptors, not
+threads, which is the point -- one generator process comfortably drives
+an order of magnitude more connections than the threaded bench can.
+
+With ``mutate_frac > 0`` against a durable server the run doubles as the
+group-commit measurement: concurrent inserts from many connections land
+in shared WAL fsync batches, and the report's ``group_commit`` section
+shows fsyncs-per-mutation (1.0 is the threaded server's floor; smaller
+is the batching win).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.aio.client import AsyncMapClient
+from repro.aio.server import AsyncMapServer
+from repro.metric_names import DISK_ACCESSES
+from repro.service.loadgen import _uniform_workload, _workload, percentile
+from repro.service.snapshot import open_index
+
+
+@dataclass
+class AsyncBenchReport:
+    """Everything one ``bench-serve --async`` run measured."""
+
+    structure: str
+    source: str
+    segments: int
+    connections: int
+    pipeline: int
+    requests: int
+    errors: int
+    overloaded: int
+    elapsed_seconds: float
+    throughput_qps: float
+    latency_ms: Dict[str, float]
+    totals: Dict[str, int]
+    counters_consistent: bool
+    server: Dict[str, Any] = field(default_factory=dict)
+    group_commit: Dict[str, Any] = field(default_factory=dict)
+
+
+def _mutating_workload(
+    index, n: int, rng: random.Random, mutate_frac: float
+) -> List[Dict[str, Any]]:
+    """The read mix with a ``mutate_frac`` share of small inserts."""
+    reads = _workload(index, n, rng)
+    table = index.ctx.segments
+    count = len(table)
+    out: List[Dict[str, Any]] = []
+    for request in reads:
+        if rng.random() < mutate_frac:
+            seg = table.peek(rng.randrange(count))
+            out.append(
+                {
+                    "op": "insert",
+                    "x1": seg.x1,
+                    "y1": seg.y1,
+                    "x2": seg.x1 + rng.uniform(0.1, 2.0),
+                    "y2": seg.y1 + rng.uniform(0.1, 2.0),
+                }
+            )
+        else:
+            out.append(request)
+    return out
+
+
+async def _drive(
+    address: Tuple[str, int],
+    shares: List[List[Dict[str, Any]]],
+    pipeline: int,
+) -> Tuple[List[float], int, int]:
+    """One connection per share, up to ``pipeline`` requests in flight
+    on each. Returns ``(latencies, errors, overloaded)``."""
+    loop = asyncio.get_running_loop()
+
+    async def one_conn(share: List[Dict[str, Any]]):
+        latencies: List[float] = []
+        errors = 0
+        overloaded = 0
+        try:
+            client = await AsyncMapClient.connect(address, timeout=30.0)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return latencies, len(share), 0  # never connected: all failed
+        sem = asyncio.Semaphore(pipeline)
+
+        async def fire(request: Dict[str, Any]) -> None:
+            nonlocal errors, overloaded
+            async with sem:
+                start = loop.time()
+                try:
+                    response = await client.request(request)
+                except (ConnectionError, OSError):
+                    errors += 1
+                    return
+                latencies.append(loop.time() - start)
+                if not response.get("ok"):
+                    code = (response.get("error") or {}).get("code")
+                    if code == "server_overloaded":
+                        overloaded += 1
+                    else:
+                        errors += 1
+
+        await asyncio.gather(*(fire(request) for request in share))
+        await client.close()
+        return latencies, errors, overloaded
+
+    results = await asyncio.gather(*(one_conn(share) for share in shares))
+    latencies: List[float] = []
+    errors = 0
+    overloaded = 0
+    for lat, err, over in results:
+        latencies.extend(lat)
+        errors += err
+        overloaded += over
+    return latencies, errors, overloaded
+
+
+def run_async_load(
+    address: Tuple[str, int],
+    workload: List[Dict[str, Any]],
+    connections: int,
+    pipeline: int,
+) -> Tuple[List[float], int, int, float]:
+    """Drive ``address`` with the workload split over ``connections``
+    pipelined v2 connections. Returns sorted latencies, error and
+    overloaded counts, and wall-clock elapsed seconds."""
+    shares = [workload[i::connections] for i in range(connections)]
+    shares = [share for share in shares if share]
+    start = time.perf_counter()
+    latencies, errors, overloaded = asyncio.run(
+        _drive(address, shares, pipeline)
+    )
+    elapsed = time.perf_counter() - start
+    latencies.sort()
+    return latencies, errors, overloaded, elapsed
+
+
+def bench_serve_async(
+    county: str = "charles",
+    scale: float = 0.02,
+    structure: str = "R*",
+    connections: int = 16,
+    pipeline: int = 8,
+    requests: int = 400,
+    snapshot: Optional[str] = None,
+    cache_capacity: int = 256,
+    seed: int = 0,
+    connect: Optional[List[Tuple[str, int]]] = None,
+    world_size: Optional[float] = None,
+    wal_dir: Optional[str] = None,
+    mutate_frac: float = 0.0,
+    executor_workers: int = 4,
+) -> AsyncBenchReport:
+    """The async twin of :func:`repro.service.loadgen.bench_serve`.
+
+    Builds (or reopens) one index, starts an :class:`AsyncMapServer`
+    sized so admission control never rejects the configured load (the
+    saturation being measured is executor queueing, which the latency
+    percentiles capture), and drives it. ``wal_dir`` makes the server
+    durable -- pair it with ``mutate_frac`` to measure group commit.
+    A non-empty ``connect`` drives a running v2-speaking server instead.
+    """
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    if pipeline < 1:
+        raise ValueError(f"pipeline must be >= 1, got {pipeline}")
+    if connect:
+        return _connect_bench_async(
+            connect, connections, pipeline, requests, seed, world_size
+        )
+
+    store = None
+    if snapshot is not None:
+        index = open_index(snapshot)
+        source = f"snapshot:{snapshot}"
+    else:
+        from repro.data import generate_county
+        from repro.harness.experiment import build_structure
+
+        built = build_structure(structure, generate_county(county, scale=scale))
+        index = built.index
+        source = f"built:{county}@{scale}"
+    if wal_dir is not None:
+        from repro.wal.store import DurableStore
+
+        store = DurableStore.create(wal_dir, index, group_commit=1)
+        source += f" wal:{wal_dir}"
+
+    from repro.service.engine import QueryEngine
+
+    engine = QueryEngine(index, cache_capacity=cache_capacity, store=store)
+    server = AsyncMapServer(
+        engine,
+        max_inflight_per_conn=pipeline,
+        max_inflight_total=max(1024, connections * pipeline),
+        executor_workers=executor_workers,
+    )
+    server.start_background()
+    try:
+        rng = random.Random(seed)
+        if mutate_frac > 0.0:
+            workload = _mutating_workload(index, requests, rng, mutate_frac)
+        else:
+            workload = _workload(index, requests, rng)
+        mutations = sum(1 for r in workload if r["op"] in ("insert", "delete"))
+        fsyncs_before = store.wal.stats()["fsyncs"] if store is not None else 0
+        latencies, errors, overloaded, elapsed = run_async_load(
+            server.address, workload, connections, pipeline
+        )
+        group_commit: Dict[str, Any] = {}
+        if store is not None and server.committer is not None:
+            committer = server.committer.stats()
+            wal = store.wal.stats()
+            wal["fsyncs"] = wal["fsyncs"] - fsyncs_before
+            group_commit = {
+                "mutations": mutations,
+                "fsyncs": wal["fsyncs"],
+                "batches": committer["batches"],
+                "committed": committer["committed"],
+                "max_batch": committer["max_batch"],
+                "fsyncs_per_mutation": (
+                    wal["fsyncs"] / mutations if mutations else 0.0
+                ),
+            }
+        report = AsyncBenchReport(
+            structure=index.name,
+            source=source,
+            segments=len(index.ctx.segments),
+            connections=connections,
+            pipeline=pipeline,
+            requests=len(latencies),
+            errors=errors,
+            overloaded=overloaded,
+            elapsed_seconds=elapsed,
+            throughput_qps=len(latencies) / elapsed if elapsed > 0 else 0.0,
+            latency_ms={
+                "p50": percentile(latencies, 0.50) * 1e3,
+                "p90": percentile(latencies, 0.90) * 1e3,
+                "p99": percentile(latencies, 0.99) * 1e3,
+                "max": (latencies[-1] if latencies else 0.0) * 1e3,
+            },
+            totals=dict(engine.stats()["totals"]),
+            counters_consistent=engine.counters_consistent(),
+            server=server.stats(),
+            group_commit=group_commit,
+        )
+    finally:
+        server.stop()
+        if store is not None:
+            store.close()
+    return report
+
+
+def _connect_bench_async(
+    addresses: List[Tuple[str, int]],
+    connections: int,
+    pipeline: int,
+    requests: int,
+    seed: int,
+    world_size: Optional[float],
+) -> AsyncBenchReport:
+    """Drive already-running v2-speaking servers (single or routed)."""
+    from repro.core.interface import WORLD_SIZE
+    from repro.metric_names import COUNTER_FIELDS
+    from repro.service.server import send_request
+
+    if world_size is None:
+        world_size = float(WORLD_SIZE)
+    rng = random.Random(seed)
+    workload = _uniform_workload(requests, rng, world_size)
+    shares = [workload[i::connections] for i in range(connections)]
+    shares = [share for share in shares if share]
+
+    async def spread() -> Tuple[List[float], int, int]:
+        chunks = [
+            (addresses[i % len(addresses)], share)
+            for i, share in enumerate(shares)
+        ]
+        by_addr: Dict[Tuple[str, int], List[List[Dict[str, Any]]]] = {}
+        for address, share in chunks:
+            by_addr.setdefault(address, []).append(share)
+        results = await asyncio.gather(
+            *(_drive(address, addr_shares, pipeline)
+              for address, addr_shares in by_addr.items())
+        )
+        latencies: List[float] = []
+        errors = 0
+        overloaded = 0
+        for lat, err, over in results:
+            latencies.extend(lat)
+            errors += err
+            overloaded += over
+        return latencies, errors, overloaded
+
+    start = time.perf_counter()
+    latencies, errors, overloaded = asyncio.run(spread())
+    elapsed = time.perf_counter() - start
+    latencies.sort()
+
+    structure, segments = "remote", 0
+    totals = dict.fromkeys([*COUNTER_FIELDS, DISK_ACCESSES], 0)
+    consistent = True
+    try:
+        stats = send_request(addresses[0], {"op": "stats"})
+    except OSError:
+        stats = {"ok": False}
+    if stats.get("ok"):
+        result = stats["result"]
+        totals = dict(result.get("totals", totals))
+        consistent = bool(result.get("counters_consistent", True))
+        if "index" in result:
+            structure = result["index"]["kind"]
+            segments = result["index"]["segments"]
+        elif "shards" in result:
+            structure = f"routed[{len(result['shards'])}]"
+            segments = max(
+                (s["index"]["segments"] for s in result["shards"].values()),
+                default=0,
+            )
+    return AsyncBenchReport(
+        structure=structure,
+        source="connect:" + ",".join(f"{h}:{p}" for h, p in addresses),
+        segments=segments,
+        connections=connections,
+        pipeline=pipeline,
+        requests=len(latencies),
+        errors=errors,
+        overloaded=overloaded,
+        elapsed_seconds=elapsed,
+        throughput_qps=len(latencies) / elapsed if elapsed > 0 else 0.0,
+        latency_ms={
+            "p50": percentile(latencies, 0.50) * 1e3,
+            "p90": percentile(latencies, 0.90) * 1e3,
+            "p99": percentile(latencies, 0.99) * 1e3,
+            "max": (latencies[-1] if latencies else 0.0) * 1e3,
+        },
+        totals=totals,
+        counters_consistent=consistent,
+    )
+
+
+def format_async_bench_report(report: AsyncBenchReport) -> str:
+    lat = report.latency_ms
+    lines = [
+        f"async map server benchmark -- {report.structure} over "
+        f"{report.source}",
+        f"  segments        {report.segments}",
+        f"  clients         {report.connections} connections, "
+        f"pipeline depth {report.pipeline}",
+        f"  requests        {report.requests} ({report.errors} errors, "
+        f"{report.overloaded} overloaded)",
+        f"  elapsed         {report.elapsed_seconds:.3f} s "
+        f"({report.throughput_qps:.0f} q/s)",
+        f"  latency (ms)    p50={lat['p50']:.2f}  p90={lat['p90']:.2f}  "
+        f"p99={lat['p99']:.2f}  max={lat['max']:.2f}",
+        f"  counters        per-session sums match totals: "
+        f"{report.counters_consistent}",
+    ]
+    gc = report.group_commit
+    if gc:
+        lines.append(
+            f"  group commit    {gc['mutations']} mutations -> "
+            f"{gc['fsyncs']} fsyncs in {gc['batches']} batches "
+            f"(max batch {gc['max_batch']}, "
+            f"{gc['fsyncs_per_mutation']:.2f} fsyncs/mutation)"
+        )
+    return "\n".join(lines)

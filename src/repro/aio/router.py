@@ -1,0 +1,92 @@
+"""The shard router behind the asyncio front end.
+
+:class:`AsyncShardRouter` is an :class:`~repro.aio.server.AsyncMapServer`
+whose backend is the *same* :class:`~repro.shard.router.RouterCore` the
+threaded router serves -- scatter, merge, drain gate, reload, partial
+results: one implementation, now reachable over v1 lines *and* v2
+frames. A pipelining client can hold thousands of routed requests in
+flight on one connection; each one still fans out to the shard workers
+over the core's blocking client pool (the async server runs dispatch on
+its executor, which is exactly where blocking scatter belongs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.aio.server import AsyncMapServer
+from repro.shard.router import RouterCore
+
+
+class RouterBackend:
+    """Adapts :class:`RouterCore` to the async server's backend slot.
+
+    Routed requests have no LSN to defer (durability lives in the shard
+    workers), so ``dispatch`` always returns ``(result, None)`` and the
+    async server never engages its group committer (``store`` is None).
+    """
+
+    store = None
+
+    def __init__(self, core: RouterCore) -> None:
+        self.core = core
+        self.registry = core.registry
+
+    def open_conn(self, conn_id: int) -> None:
+        return None
+
+    def dispatch(self, raw: Dict[str, Any], state: Any) -> Tuple[Any, None]:
+        core = self.core
+        op = str(raw.get("op"))
+        try:
+            if op == "reload":
+                # reload *is* the drainer; entering the gate would
+                # deadlock on itself (same carve-out as the threaded
+                # router's respond()).
+                result = core.reload()
+            else:
+                core._enter_gate()
+                try:
+                    result = core.dispatch(raw)
+                finally:
+                    core._exit_gate()
+        except Exception:
+            core.registry.counter(
+                "repro_router_requests_total", op=op, status="error"
+            ).inc()
+            raise
+        core.registry.counter(
+            "repro_router_requests_total", op=op, status="ok"
+        ).inc()
+        return result, None
+
+    def close(self) -> None:
+        self.core.close_clients()
+
+
+class AsyncShardRouter(AsyncMapServer):
+    """Scatter-gather router served by the asyncio event loop."""
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 5.0,
+        **kwargs: Any,
+    ) -> None:
+        core = RouterCore(root, timeout=timeout)
+        super().__init__(backend=RouterBackend(core), host=host, port=port, **kwargs)
+        self.core = core
+
+    # Conveniences mirroring the threaded router's surface.
+    @property
+    def shard_map(self):
+        return self.core.shard_map
+
+    @property
+    def clients(self):
+        return self.core.clients
+
+    def reload(self) -> Dict[str, Any]:
+        return self.core.reload()

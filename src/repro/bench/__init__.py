@@ -19,6 +19,12 @@ the scatter-gather router, counters summed across shards
 (:mod:`repro.bench.shard`, kind ``repro-shard-bench``).  The CI
 ``shard-smoke`` job gates it against
 ``benchmarks/results/BENCH_shard_baseline.json``.
+
+``python -m repro bench --serve`` gates the serving path itself: the
+threaded and async front ends driven by the same seeded workload
+(:mod:`repro.bench.serve`, kind ``repro-serve-bench``), with request
+error counts gating and latency percentiles plus the group-commit fsync
+ratio recorded as warn-only trend lines.
 """
 
 from repro.bench.compare import compare_records, load_record
@@ -29,6 +35,11 @@ from repro.bench.runner import (
     validate_record,
     write_record,
 )
+from repro.bench.serve import (
+    SERVE_DEFAULT_PARAMS,
+    run_serve_bench,
+    validate_serve_record,
+)
 from repro.bench.shard import (
     SHARD_DEFAULT_PARAMS,
     run_shard_bench,
@@ -38,12 +49,15 @@ from repro.bench.shard import (
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_PARAMS",
+    "SERVE_DEFAULT_PARAMS",
     "SHARD_DEFAULT_PARAMS",
     "compare_records",
     "load_record",
     "run_bench",
+    "run_serve_bench",
     "run_shard_bench",
     "validate_record",
+    "validate_serve_record",
     "validate_shard_record",
     "write_record",
 ]

@@ -16,19 +16,25 @@ workload parameter match exactly -- a mismatch is a usage error
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, NamedTuple, Tuple
 
 from repro.bench.runner import BENCH_KIND, BENCH_SCHEMA_VERSION, validate_record
+from repro.bench.serve import (
+    SERVE_BENCH_KIND,
+    serve_gate_points,
+    serve_wall_points,
+    validate_serve_record,
+)
 from repro.bench.shard import SHARD_BENCH_KIND, validate_shard_record
 from repro.metric_names import PAPER_METRICS
 
-#: Record kinds the gate can compare, with their validators. A baseline
-#: and a fresh record must share a kind -- an unsharded baseline says
-#: nothing about routed costs, and vice versa.
-VALIDATORS = {
-    BENCH_KIND: validate_record,
-    SHARD_BENCH_KIND: validate_shard_record,
-}
+
+class KindSpec(NamedTuple):
+    """How one record kind validates and which of its points gate/warn."""
+
+    validator: Callable[[object], List[str]]
+    gate_points: Callable[[Dict[str, object]], object]
+    wall_points: Callable[[Dict[str, object]], object]
 
 #: Comparison verdict exit codes (the CLI exits with these).
 EXIT_OK = 0
@@ -67,6 +73,24 @@ def _wall_points(record: Dict[str, object]):
             yield f"{name}/{wname}/p50_ms", float(wall["p50_ms"])
 
 
+#: Per-kind dispatch: validator plus gate/warn point extractors. The
+#: unsharded and routed records share one shape (structures ->
+#: workloads -> counters); the serving record gates error counts and
+#: warns on latency percentiles and the group-commit fsync ratio.
+KINDS: Dict[str, KindSpec] = {
+    BENCH_KIND: KindSpec(validate_record, _gate_points, _wall_points),
+    SHARD_BENCH_KIND: KindSpec(
+        validate_shard_record, _gate_points, _wall_points
+    ),
+    SERVE_BENCH_KIND: KindSpec(
+        validate_serve_record, serve_gate_points, serve_wall_points
+    ),
+}
+
+#: Back-compat view of :data:`KINDS` (kind -> validator).
+VALIDATORS = {kind: spec.validator for kind, spec in KINDS.items()}
+
+
 def compare_records(
     baseline: Dict[str, object],
     fresh: Dict[str, object],
@@ -87,15 +111,15 @@ def compare_records(
             f"records are not comparable"
         )
         return EXIT_INCOMPARABLE, lines
-    validator = VALIDATORS.get(base_kind)  # type: ignore[arg-type]
-    if validator is None:
+    spec = KINDS.get(base_kind)  # type: ignore[arg-type]
+    if spec is None:
         lines.append(
             f"unknown record kind {base_kind!r} (this tool speaks "
-            f"{sorted(VALIDATORS)})"
+            f"{sorted(KINDS)})"
         )
         return EXIT_INCOMPARABLE, lines
     for label, record in (("baseline", baseline), ("fresh", fresh)):
-        problems = validator(record)
+        problems = spec.validator(record)
         if problems:
             lines.append(f"{label} record is invalid:")
             lines.extend(f"  - {p}" for p in problems)
@@ -113,8 +137,8 @@ def compare_records(
         lines.append(f"  fresh:    {fresh['params']}")
         return EXIT_INCOMPARABLE, lines
 
-    base_points = dict(_gate_points(baseline))
-    fresh_points = list(_gate_points(fresh))
+    base_points = dict(spec.gate_points(baseline))
+    fresh_points = list(spec.gate_points(fresh))
     if set(base_points) != {label for label, _ in fresh_points}:
         lines.append(
             "structure/workload sets differ; records are not comparable"
@@ -134,14 +158,15 @@ def compare_records(
         elif value < base:
             improvements.append(f"  improved {label}: {base} -> {value}")
 
-    base_wall = dict(_wall_points(baseline))
+    base_wall = dict(spec.wall_points(baseline))
     wall_warnings: List[str] = []
-    for label, value in _wall_points(fresh):
-        base = base_wall[label]
-        if base > 0 and value > base * (1.0 + tolerance):
+    for label, value in spec.wall_points(fresh):
+        base = base_wall.get(label)
+        if base is not None and base > 0 and value > base * (1.0 + tolerance):
+            unit = "" if label.endswith("_per_mutation") else "ms"
             wall_warnings.append(
                 f"  warn (wall-clock, not gating) {label}: "
-                f"{base:.3f}ms -> {value:.3f}ms"
+                f"{base:.3f}{unit} -> {value:.3f}{unit}"
             )
 
     lines.append(

@@ -45,6 +45,8 @@ ERROR_CODES = (
     "unknown_seg",   # a segment id outside the segment table
     "not_durable",   # checkpoint asked of a server without --wal
     "shard_unavailable",  # the router could not reach a shard worker
+    "server_overloaded",  # admission control: in-flight high-water mark hit
+    "frame_too_large",    # request line/frame exceeds the server's cap
     "internal",      # anything else: a server-side bug, not the client
 )
 
@@ -97,3 +99,29 @@ class ShardUnavailableError(ProtocolError):
     def __init__(self, message: str, shard_id: str) -> None:
         super().__init__(message, code="shard_unavailable")
         self.shard_id = shard_id
+
+
+class ServerOverloadedError(ProtocolError):
+    """Admission control rejected the request.
+
+    Served when a connection (or the whole server) already has its
+    maximum number of requests in flight. The request was *not*
+    executed; a client should back off and retry. Maps to the
+    ``server_overloaded`` wire code.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="server_overloaded")
+
+
+class FrameTooLargeError(ProtocolError):
+    """A request line (v1) or frame (v2) exceeds the server's size cap.
+
+    The oversized payload is drained and discarded, the client gets this
+    as a structured ``frame_too_large`` error, and the connection stays
+    usable -- one huge request must not kill the stream behind it (nor
+    the server's memory).
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="frame_too_large")

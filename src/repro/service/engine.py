@@ -43,6 +43,7 @@ shared stack safe and attributable:
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
@@ -129,6 +130,7 @@ class QueryEngine:
         self.slow_log = SlowQueryLog(slow_ms, capacity=slow_log_capacity)
         self._sessions: Dict[str, QuerySession] = {}
         self._sessions_lock = make_lock("service.engine.sessions")
+        self._deferred = threading.local()
         self._anon = itertools.count(1)
         self._batch = None
         # Per-op metric handles, resolved once so the hot path is a single
@@ -246,6 +248,52 @@ class QueryEngine:
                 if error is not None:
                     span.set_error(error)
                 span.__exit__(None, None, None)
+
+    # ------------------------------------------------------------------
+    # Commit barrier (group commit across connections)
+    # ------------------------------------------------------------------
+    def _commit_barrier(self) -> None:
+        """Make the just-logged mutation durable -- or defer that duty.
+
+        The ordinary path fsyncs inline (through the WAL's group-commit
+        batching), so a mutation is durable before ``execute`` returns.
+        Inside :meth:`execute_deferred` the barrier instead records the
+        mutation's LSN and returns immediately: the caller (the async
+        server's cross-connection group committer) owns durability and
+        must not ack the client until an fsync covers that LSN.
+        """
+        if self.store is None:
+            return
+        local = self._deferred
+        if getattr(local, "active", False):
+            local.lsn = self.store.last_lsn
+            return
+        with TRACER.span("commit"):
+            self.store.commit()
+
+    def execute_deferred(
+        self, request, session: Optional[QuerySession] = None
+    ) -> Tuple[Any, Optional[int]]:
+        """Run ``request`` with the inline commit barrier suppressed.
+
+        Returns ``(result, lsn)``. ``lsn`` is the highest LSN the request
+        logged, or ``None`` when nothing needs an fsync (reads, errors,
+        non-durable engines). Commit-before-ack is the caller's contract:
+        it must await an fsync covering ``lsn`` before acknowledging.
+
+        The deferral flag is thread-local, so a request executing on one
+        executor thread never suppresses another thread's inline commit.
+        """
+        local = self._deferred
+        local.active = True
+        local.lsn = None
+        try:
+            result = self.execute(request, session=session)
+        finally:
+            lsn = getattr(local, "lsn", None)
+            local.active = False
+            local.lsn = None
+        return result, lsn
 
     def _metric_pair(self, op: str) -> Tuple[Any, Any]:
         """Resolve (latency histogram, ok counter) for ``op``, once."""
@@ -533,9 +581,7 @@ class QueryEngine:
                 if self.store is not None:
                     self.store.log_insert(seg_id, segment)
                 self.index.insert(seg_id)
-        if self.store is not None:
-            with TRACER.span("commit"):
-                self.store.commit()
+        self._commit_barrier()
         self.cache.invalidate_all()
         return seg_id
 
@@ -582,9 +628,7 @@ class QueryEngine:
                 if self.store is not None:
                     self.store.log_delete(seg_id)
                 self.index.delete(seg_id)
-        if self.store is not None:
-            with TRACER.span("commit"):
-                self.store.commit()
+        self._commit_barrier()
         self.cache.invalidate_all()
         return True
 

@@ -40,6 +40,13 @@ error *response* -- never a dropped connection -- so one bad request in
 a client's stream cannot kill the requests behind it. ``checkpoint``
 requires the engine to be durable (``serve --wal``); on a non-durable
 server it is a ``not_durable`` error like any other.
+
+Two wire-level guards apply to every connection: an idle timeout
+(:data:`DEFAULT_IDLE_TIMEOUT`) closes a connection that has gone quiet,
+and a request-size cap (:data:`MAX_LINE_BYTES`) turns an oversized line
+into a ``frame_too_large`` error with the payload drained, not buffered.
+The asyncio server (:mod:`repro.aio`) applies the same two guards and
+additionally speaks the length-prefixed wire protocol v2.
 """
 
 from __future__ import annotations
@@ -51,10 +58,20 @@ import socketserver
 import threading
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import ProtocolError
+from repro.errors import FrameTooLargeError, ProtocolError
 from repro.metric_names import DISK_ACCESSES
 from repro.service.api import parse_request, request_version
 from repro.service.engine import QueryEngine
+
+#: Close a connection that has sent nothing for this long (seconds).
+#: A stalled client used to pin its handler thread forever; both the
+#: threaded and the async server now reclaim it.
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+#: Largest accepted v1 request line (bytes, newline excluded). Anything
+#: longer is drained and answered with a ``frame_too_large`` error
+#: instead of being buffered whole -- one client cannot exhaust memory.
+MAX_LINE_BYTES = 1 << 20
 
 
 def error_envelope(exc: BaseException) -> Dict[str, str]:
@@ -95,19 +112,105 @@ def error_envelope(exc: BaseException) -> Dict[str, str]:
 _COMPACT = (",", ":")
 
 
+def shape_result(op: Any, result: Any) -> Any:
+    """Shape an engine result for the wire (shared with the async server).
+
+    Batch results are a dataclass engine-side; every server flattens them
+    to the same JSON shape here, so v1, v2, threaded, and async responses
+    stay byte-for-byte interchangeable.
+    """
+    if op == "batch":
+        return {
+            "results": result.results,
+            "order": result.order,
+            DISK_ACCESSES: result.disk_accesses,
+        }
+    return result
+
+
+def oversized_envelope(limit: int, version: Optional[int] = None) -> Dict[str, Any]:
+    """The ``frame_too_large`` error response, shared by both servers."""
+    response: Dict[str, Any] = {
+        "ok": False,
+        "error": error_envelope(
+            FrameTooLargeError(
+                f"request exceeds the {limit}-byte frame cap; "
+                f"it was discarded"
+            )
+        ),
+    }
+    if version is not None:
+        response["v"] = version
+    return response
+
+
+def serve_json_lines(
+    handler: socketserver.StreamRequestHandler,
+    respond_line,
+    idle_timeout: Optional[float],
+    max_line_bytes: int,
+) -> None:
+    """The v1 request loop shared by the map server and shard router.
+
+    Reads newline-delimited requests with an idle timeout (a stalled
+    client no longer pins its thread forever) and a line-size cap: an
+    oversized line is drained in bounded chunks and answered with a
+    structured ``frame_too_large`` error, never buffered whole.
+    """
+    dumps = json.dumps
+    write, flush = handler.wfile.write, handler.wfile.flush
+    readline = handler.rfile.readline
+    if idle_timeout is not None:
+        handler.connection.settimeout(idle_timeout)
+    while True:
+        try:
+            raw = readline(max_line_bytes + 1)
+        except (TimeoutError, socket.timeout, OSError):
+            return  # idle (or dead) connection: reclaim the thread
+        if not raw:
+            return  # EOF: client closed cleanly
+        if len(raw) > max_line_bytes and not raw.endswith(b"\n"):
+            # Oversized: discard the rest of the line in bounded chunks,
+            # answer with a structured error, keep serving the stream.
+            if not _drain_line(readline, max_line_bytes):
+                return
+            response = oversized_envelope(max_line_bytes)
+        elif not raw.endswith(b"\n"):
+            return  # EOF mid-line: nothing trustworthy to answer
+        else:
+            line = raw.strip()
+            if not line:
+                continue
+            response = respond_line(line)
+        write(dumps(response, separators=_COMPACT).encode("utf-8") + b"\n")
+        flush()
+
+
+def _drain_line(readline, chunk: int) -> bool:
+    """Discard bounded chunks until the oversized line's newline.
+
+    Returns False on EOF or timeout (the connection is done)."""
+    while True:
+        try:
+            raw = readline(chunk)
+        except (TimeoutError, socket.timeout, OSError):
+            return False
+        if not raw:
+            return False
+        if raw.endswith(b"\n"):
+            return True
+
+
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         server: "MapServer" = self.server  # type: ignore[assignment]
         session = server.engine.session(f"conn-{next(server.connection_ids)}")
-        respond, dumps = server.respond, json.dumps
-        write, flush = self.wfile.write, self.wfile.flush
-        for raw in self.rfile:
-            line = raw.strip()
-            if not line:
-                continue
-            response = respond(line, session)
-            write(dumps(response, separators=_COMPACT).encode("utf-8") + b"\n")
-            flush()
+        serve_json_lines(
+            self,
+            lambda line: server.respond(line, session),
+            server.idle_timeout,
+            server.max_line_bytes,
+        )
 
 
 class MapServer(socketserver.ThreadingTCPServer):
@@ -121,11 +224,18 @@ class MapServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
     def __init__(
-        self, engine: QueryEngine, host: str = "127.0.0.1", port: int = 0
+        self,
+        engine: QueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.engine = engine
         self.batch = engine.batch
+        self.idle_timeout = idle_timeout
+        self.max_line_bytes = max_line_bytes
         self.connection_ids = itertools.count(1)
         self._serve_thread: Optional[threading.Thread] = None
 
@@ -189,13 +299,7 @@ class MapServer(socketserver.ThreadingTCPServer):
         if op == "ping":
             return "pong"
         result = self.engine.execute(parse_request(request), session=session)
-        if op == "batch":
-            return {
-                "results": result.results,
-                "order": result.order,
-                DISK_ACCESSES: result.disk_accesses,
-            }
-        return result
+        return shape_result(op, result)
 
     def metrics_text(self) -> str:
         """The engine registry as Prometheus text exposition."""

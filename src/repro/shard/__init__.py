@@ -19,6 +19,7 @@ from repro.shard.manifest import (
 )
 from repro.shard.rebalance import catch_up_shard, split_shard
 from repro.shard.router import (
+    RouterCore,
     ShardClient,
     ShardRouter,
     merge_id_lists,
@@ -40,6 +41,7 @@ __all__ = [
     "SHARD_MAP_NAME",
     "SHARD_STRUCTURES",
     "LocalShardSet",
+    "RouterCore",
     "ShardClient",
     "ShardEngine",
     "ShardMap",

@@ -67,7 +67,13 @@ from repro.service.api import (
     parse_request,
     request_version,
 )
-from repro.service.server import _COMPACT, error_envelope
+from repro.service.server import (
+    _COMPACT,
+    DEFAULT_IDLE_TIMEOUT,
+    MAX_LINE_BYTES,
+    error_envelope,
+    serve_json_lines,
+)
 from repro.shard.manifest import ShardMap, ShardSpec
 from repro.shard.worker import read_addr
 
@@ -241,23 +247,21 @@ def _merge_same_value(values: List[Any], what: str) -> Any:
     return first
 
 
-class ShardRouter(socketserver.ThreadingTCPServer):
-    """Scatter-gather front end over the shard set rooted at ``root``."""
+class RouterCore:
+    """The router's logic, transport-free: clients, gate, scatter, merge.
 
-    allow_reuse_address = True
-    daemon_threads = True
+    :class:`ShardRouter` mixes this into a ``ThreadingTCPServer`` (the
+    v1 threaded front end); :class:`repro.aio.router.AsyncShardRouter`
+    mounts the same core behind the asyncio server, so both transports
+    route and merge identically -- one implementation, two wire fronts.
+    All methods here are thread-safe: the drain gate is a condition
+    variable and the scatter pool is shared, exactly as they were when
+    this logic lived on the threaded server class.
+    """
 
-    def __init__(
-        self,
-        root: str,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        timeout: float = 5.0,
-    ) -> None:
-        super().__init__((host, port), _RouterHandler)
+    def __init__(self, root: str, timeout: float = 5.0) -> None:
         self.root = os.fspath(root)
         self.timeout = timeout
-        self.connection_ids = itertools.count(1)
         self.registry = MetricsRegistry()
         self._gate = make_condition("shard.router.gate")
         self._active = 0
@@ -265,7 +269,6 @@ class ShardRouter(socketserver.ThreadingTCPServer):
         self.shard_map: ShardMap = ShardMap.load(self.root)
         self.clients: Dict[str, ShardClient] = {}
         self._pool: Optional[ThreadPoolExecutor] = None
-        self._serve_thread: Optional[threading.Thread] = None
         self._build_clients()
 
     def _build_clients(self) -> None:
@@ -287,29 +290,8 @@ class ShardRouter(socketserver.ThreadingTCPServer):
         self.registry.gauge("repro_router_shards").set(len(self.clients))
         self.registry.gauge("repro_router_epoch").set(smap.epoch)
 
-    @property
-    def address(self) -> Tuple[str, int]:
-        host, port = self.server_address[:2]
-        return host, port
-
-    def start_background(self) -> threading.Thread:
-        thread = threading.Thread(
-            target=self.serve_forever, name="shard-router", daemon=True
-        )
-        self._serve_thread = thread  # repro-lint: disable=CC03 -- lifecycle field: start_background/close are called by the single owning thread, never concurrently with each other
-        thread.start()
-        return thread
-
-    def close(self) -> None:
-        """Shut down deterministically: stop serving, join the
-        background accept thread (if one was started), then release every
-        client connection and the scatter pool. After close() returns no
-        router thread is live and no socket is open."""
-        self.shutdown()
-        self.server_close()
-        if self._serve_thread is not None:
-            self._serve_thread.join(timeout=5.0)
-            self._serve_thread = None  # repro-lint: disable=CC03 -- lifecycle field: see start_background; close runs after serving stopped
+    def close_clients(self) -> None:
+        """Release every shard connection and the scatter pool."""
         for client in self.clients.values():
             client.close()
         if self._pool is not None:
@@ -680,15 +662,64 @@ class ShardRouter(socketserver.ThreadingTCPServer):
         }
 
 
+class ShardRouter(socketserver.ThreadingTCPServer, RouterCore):
+    """Scatter-gather front end over the shard set rooted at ``root``.
+
+    The threaded transport for :class:`RouterCore`: one handler thread
+    per client connection, same idle timeout and line cap as the
+    threaded map server. ``python -m repro route --async`` serves the
+    identical core behind the asyncio server instead."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 5.0,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        max_line_bytes: int = MAX_LINE_BYTES,
+    ) -> None:
+        socketserver.ThreadingTCPServer.__init__(
+            self, (host, port), _RouterHandler
+        )
+        RouterCore.__init__(self, root, timeout=timeout)
+        self.idle_timeout = idle_timeout
+        self.max_line_bytes = max_line_bytes
+        self.connection_ids = itertools.count(1)
+        self._serve_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.server_address[:2]
+        return host, port
+
+    def start_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.serve_forever, name="shard-router", daemon=True
+        )
+        self._serve_thread = thread  # repro-lint: disable=CC03 -- lifecycle field: start_background/close are called by the single owning thread, never concurrently with each other
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Shut down deterministically: stop serving, join the
+        background accept thread (if one was started), then release every
+        client connection and the scatter pool. After close() returns no
+        router thread is live and no socket is open."""
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None  # repro-lint: disable=CC03 -- lifecycle field: see start_background; close runs after serving stopped
+        self.close_clients()
+
+
 class _RouterHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         server: ShardRouter = self.server  # type: ignore[assignment]
-        respond, dumps = server.respond, json.dumps
-        write, flush = self.wfile.write, self.wfile.flush
-        for raw in self.rfile:
-            line = raw.strip()
-            if not line:
-                continue
-            response = respond(line)
-            write(dumps(response, separators=_COMPACT).encode("utf-8") + b"\n")
-            flush()
+        serve_json_lines(
+            self, server.respond, server.idle_timeout, server.max_line_bytes
+        )

@@ -80,9 +80,7 @@ class ShardEngine(QueryEngine):
                     self.store.log_insert(seg_id, segment)
                 if owned:
                     self.index.insert(seg_id)
-        if self.store is not None:
-            with TRACER.span("commit"):
-                self.store.commit()
+        self._commit_barrier()
         self.cache.invalidate_all()
         return seg_id
 
@@ -105,9 +103,7 @@ class ShardEngine(QueryEngine):
                     deleted = True
                 except KeyError:
                     deleted = False  # not locally indexed: a peer owns it
-        if self.store is not None:
-            with TRACER.span("commit"):
-                self.store.commit()
+        self._commit_barrier()
         self.cache.invalidate_all()
         return deleted
 

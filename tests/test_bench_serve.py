@@ -1,0 +1,107 @@
+"""Tests for the serving-path perf baseline (``bench --serve``)."""
+
+import copy
+
+import pytest
+
+from repro.bench.compare import (
+    EXIT_INCOMPARABLE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    compare_records,
+)
+from repro.bench.runner import BENCH_KIND
+from repro.bench.serve import (
+    SERVE_BENCH_KIND,
+    SERVE_MODES,
+    run_serve_bench,
+    serve_gate_points,
+    serve_wall_points,
+    validate_serve_record,
+)
+
+#: Small but real: both servers spun up, mutations through group commit.
+TINY = {
+    "scale": 0.01,
+    "threads": 2,
+    "requests": 40,
+    "pipeline": 4,
+    "async_multiplier": 5,
+    "mutate_frac": 0.25,
+}
+
+
+@pytest.fixture(scope="module")
+def record():
+    return run_serve_bench(TINY)
+
+
+class TestServeRecord:
+    def test_record_validates(self, record):
+        assert validate_serve_record(record) == []
+        assert record["kind"] == SERVE_BENCH_KIND
+
+    def test_both_modes_ran_clean(self, record):
+        assert set(record["modes"]) == set(SERVE_MODES)
+        for mode in SERVE_MODES:
+            entry = record["modes"][mode]
+            assert entry["requests"] == TINY["requests"]
+            assert entry["errors"] == 0
+            assert entry["counters_consistent"] is True
+            assert entry["wall"]["p50_ms"] <= entry["wall"]["p99_ms"]
+
+    def test_async_sustains_5x_connections(self, record):
+        threaded = record["modes"]["threaded"]["connections"]
+        assert record["modes"]["async"]["connections"] >= 5 * threaded
+
+    def test_group_commit_batched(self, record):
+        gc = record["modes"]["async"]["group_commit"]
+        assert gc["mutations"] > 0
+        assert gc["fsyncs"] < gc["mutations"]
+        assert 0.0 < gc["fsyncs_per_mutation"] < 1.0
+
+    def test_gate_points_are_deterministic_zeros(self, record):
+        points = dict(serve_gate_points(record))
+        for mode in SERVE_MODES:
+            assert points[f"{mode}/errors"] == 0
+            assert points[f"{mode}/counters_inconsistent"] == 0
+
+    def test_wall_points_cover_latency_and_fsync_ratio(self, record):
+        labels = {label for label, _ in serve_wall_points(record)}
+        for mode in SERVE_MODES:
+            assert f"{mode}/p50_ms" in labels
+            assert f"{mode}/p99_ms" in labels
+        assert "async/fsyncs_per_mutation" in labels
+
+    def test_self_comparison_is_clean_at_zero_tolerance(self, record):
+        code, lines = compare_records(record, record, tolerance=0.0)
+        assert code == EXIT_OK, "\n".join(lines)
+
+
+class TestServeGateSafety:
+    def test_cross_kind_comparison_refused(self, record):
+        code, lines = compare_records({"kind": BENCH_KIND}, record)
+        assert code == EXIT_INCOMPARABLE
+        assert any("kind mismatch" in line for line in lines)
+
+    def test_error_count_regression_gates(self, record):
+        worse = copy.deepcopy(record)
+        worse["modes"]["async"]["errors"] = 7
+        code, lines = compare_records(record, worse, tolerance=0.10)
+        assert code == EXIT_REGRESSION
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_latency_growth_only_warns(self, record):
+        slower = copy.deepcopy(record)
+        for mode in SERVE_MODES:
+            slower["modes"][mode]["wall"]["p99_ms"] *= 100
+        code, lines = compare_records(record, slower, tolerance=0.10)
+        assert code == EXIT_OK
+        assert any("warn" in line for line in lines)
+
+    def test_starved_async_connections_fail_validation(self, record):
+        broken = copy.deepcopy(record)
+        broken["modes"]["async"]["connections"] = (
+            broken["modes"]["threaded"]["connections"]
+        )
+        assert validate_serve_record(broken)
