@@ -11,7 +11,8 @@ and a harness that regenerates every table and figure of the evaluation.
 Quickstart::
 
     from repro import (
-        PMRQuadtree, Rect, StorageContext, generate_county, window_query,
+        PMRQuadtree, QuerySpec, Rect, StorageContext, execute_spec,
+        generate_county,
     )
 
     county = generate_county("baltimore", scale=0.05)
@@ -20,8 +21,13 @@ Quickstart::
     for seg_id in ctx.load_segments(county.segments):
         index.insert(seg_id)
 
-    hits = window_query(index, Rect(1000, 1000, 1160, 1160))
+    spec = QuerySpec.window(Rect(1000, 1000, 1160, 1160))
+    hits = execute_spec(index, spec)       # scalar reference backend
     print(ctx.counters.disk_accesses, "potential disk accesses")
+
+    # Same query, numpy struct-of-arrays traversal (identical counters):
+    from repro.core.backends import resolve_backend
+    hits = resolve_backend("vector").run(index, spec)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
@@ -42,9 +48,13 @@ from repro.core import (
     UniformGrid,
 )
 from repro.core.interface import WORLD_DEPTH, WORLD_SIZE
+from repro.core.backends import ScalarBackend, resolve_backend
+from repro.core.interface import TraversalBackend
 from repro.core.queries import (
     PolygonResult,
+    QuerySpec,
     enclosing_polygon,
+    execute_spec,
     iter_nearest,
     nearest_segment,
     segments_at_other_endpoint,
@@ -88,6 +98,7 @@ __all__ = [
     "PMRQuadtree",
     "Point",
     "PolygonResult",
+    "QuerySpec",
     "ProtocolError",
     "RPlusTree",
     "RStarTree",
@@ -102,7 +113,10 @@ __all__ = [
     "UniformGrid",
     "WORLD_DEPTH",
     "WORLD_SIZE",
+    "ScalarBackend",
+    "TraversalBackend",
     "enclosing_polygon",
+    "execute_spec",
     "generate_county",
     "generate_map",
     "iter_nearest",
@@ -110,6 +124,7 @@ __all__ = [
     "normalize_segments",
     "segments_at_other_endpoint",
     "segments_at_point",
+    "resolve_backend",
     "window_query",
     "__version__",
 ]

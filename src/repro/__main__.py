@@ -195,6 +195,7 @@ def _cmd_serve(args) -> int:
         cache_capacity=args.cache_size,
         store=store,
         slow_ms=args.slow_ms,
+        backend=args.backend,
     )
     idle_timeout = args.idle_timeout if args.idle_timeout > 0 else None
     if args.use_async:
@@ -400,6 +401,7 @@ def _cmd_shard_worker(args) -> int:
             port=args.port,
             group_commit=args.group_commit,
             slow_ms=args.slow_ms,
+            backend=args.backend,
         )
     except (FileNotFoundError, KeyError, WalError) as exc:
         sys.exit(f"error: cannot open shard {args.shard}: {exc}")
@@ -625,6 +627,7 @@ def _cmd_bench(args) -> int:
         run_bench,
         run_serve_bench,
         run_shard_bench,
+        run_vector_bench,
         write_record,
     )
     from repro.bench.compare import (
@@ -636,6 +639,23 @@ def _cmd_bench(args) -> int:
 
     if args.serve:
         record = run_serve_bench({"seed": args.seed})
+    elif args.backend == "vector":
+        if args.routed:
+            print(
+                "error: --backend vector and --routed are separate benches",
+                file=sys.stderr,
+            )
+            return 2
+        # The backend bench has its own (larger) default scale and query
+        # count; only forward knobs the user actually changed.
+        from repro.bench import DEFAULT_PARAMS
+
+        params = {"county": args.county, "seed": args.seed}
+        if args.scale != DEFAULT_PARAMS["scale"]:
+            params["scale"] = args.scale
+        if args.queries != DEFAULT_PARAMS["n_queries"]:
+            params["n_queries"] = args.queries
+        record = run_vector_bench(params)
     else:
         params = {
             "county": args.county,
@@ -671,6 +691,13 @@ def _cmd_bench(args) -> int:
             totals = entry["totals"]
             summary = ", ".join(f"{m}={totals[m]}" for m in PAPER_METRICS)
             print(f"  {name}: {summary}")
+            if args.backend == "vector":
+                for wname, w in entry["workloads"].items():
+                    print(
+                        f"    {wname}: scalar {w['scalar']['wall_ms']:.1f}ms"
+                        f" -> vector {w['vector_ms']:.1f}ms"
+                        f" ({w['speedup']:.2f}x, parity ok)"
+                    )
     if args.compare:
         try:
             baseline = load_record(args.compare)
@@ -848,6 +875,13 @@ def main(argv=None) -> int:
         "connection; adds the pipelined wire protocol v2",
     )
     p.add_argument(
+        "--backend",
+        default="scalar",
+        choices=["scalar", "vector"],
+        help="traversal backend for query execution ('vector' falls "
+        "back to scalar when numpy is unavailable; see stats())",
+    )
+    p.add_argument(
         "--idle-timeout",
         type=float,
         default=300.0,
@@ -975,6 +1009,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="enable the runtime lock-order sanitizer for this worker",
     )
+    p.add_argument(
+        "--backend",
+        default="scalar",
+        choices=["scalar", "vector"],
+        help="traversal backend for this worker's query execution",
+    )
 
     p = sub.add_parser(
         "route", help="scatter-gather router over a shard set's workers"
@@ -1101,6 +1141,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="bench the serving path instead: threaded vs async front "
         "ends under load; emits a repro-serve-bench record",
+    )
+    p.add_argument(
+        "--backend",
+        default="scalar",
+        choices=["scalar", "vector"],
+        help="'vector' runs the backend comparison bench instead "
+        "(scalar vs vectorized traversal with in-run parity checks; "
+        "emits a repro-bench-vector record with its own larger "
+        "default scale/queries)",
     )
 
     p = sub.add_parser("check", help="static index fsck (no queries executed)")

@@ -20,6 +20,13 @@ the scatter-gather router, counters summed across shards
 ``shard-smoke`` job gates it against
 ``benchmarks/results/BENCH_shard_baseline.json``.
 
+``python -m repro bench --backend vector`` runs the backend comparison
+instead: scalar and vectorized traversal over the same batched
+workloads at a larger scale, asserting result/counter parity in-run and
+recording per-structure speedups (:mod:`repro.bench.vector`, kind
+``repro-bench-vector``).  The committed baseline is
+``benchmarks/results/BENCH_vector_baseline.json``.
+
 ``python -m repro bench --serve`` gates the serving path itself: the
 threaded and async front ends driven by the same seeded workload
 (:mod:`repro.bench.serve`, kind ``repro-serve-bench``), with request
@@ -45,19 +52,27 @@ from repro.bench.shard import (
     run_shard_bench,
     validate_shard_record,
 )
+from repro.bench.vector import (
+    VECTOR_DEFAULT_PARAMS,
+    run_vector_bench,
+    validate_vector_record,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_PARAMS",
     "SERVE_DEFAULT_PARAMS",
     "SHARD_DEFAULT_PARAMS",
+    "VECTOR_DEFAULT_PARAMS",
     "compare_records",
     "load_record",
     "run_bench",
     "run_serve_bench",
     "run_shard_bench",
+    "run_vector_bench",
     "validate_record",
     "validate_serve_record",
     "validate_shard_record",
+    "validate_vector_record",
     "write_record",
 ]

@@ -26,6 +26,7 @@ from repro.bench.serve import (
     validate_serve_record,
 )
 from repro.bench.shard import SHARD_BENCH_KIND, validate_shard_record
+from repro.bench.vector import VECTOR_BENCH_KIND, validate_vector_record
 from repro.metric_names import PAPER_METRICS
 
 
@@ -84,6 +85,9 @@ KINDS: Dict[str, KindSpec] = {
     ),
     SERVE_BENCH_KIND: KindSpec(
         validate_serve_record, serve_gate_points, serve_wall_points
+    ),
+    VECTOR_BENCH_KIND: KindSpec(
+        validate_vector_record, _gate_points, _wall_points
     ),
 }
 

@@ -15,13 +15,8 @@ import json
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.queries import (
-    enclosing_polygon,
-    nearest_segment,
-    segments_at_other_endpoint,
-    segments_at_point,
-    window_query,
-)
+from repro.core.backends import SCALAR_BACKEND, resolve_backend
+from repro.core.queries.spec import QuerySpec
 from repro.data.counties import generate_county
 from repro.harness.experiment import BuiltStructure, build_structure
 from repro.harness.workloads import QueryWorkloads
@@ -96,35 +91,47 @@ def _run_workload(built: BuiltStructure, thunks) -> Dict[str, object]:
     return out
 
 
-def _workload_thunks(built: BuiltStructure, workloads: QueryWorkloads):
+def _workload_thunks(
+    built: BuiltStructure, workloads: QueryWorkloads, backend=None
+):
     """The five named workloads as (name, thunk-iterable) pairs."""
     idx = built.index
+    be = backend if backend is not None else SCALAR_BACKEND
     return (
         (
             "point",
             [
-                (lambda p=p: segments_at_point(idx, p))
+                (lambda p=p: be.run(idx, QuerySpec.point(p)))
                 for p, _ in workloads.endpoint_queries
             ],
         ),
         (
             "point2",
             [
-                (lambda p=p, s=s: segments_at_other_endpoint(idx, p, s))
+                (lambda p=p, s=s: be.run(idx, QuerySpec.other_endpoint(p, s)))
                 for p, s in workloads.endpoint_queries
             ],
         ),
         (
             "nearest",
-            [(lambda p=p: nearest_segment(idx, p)) for p in workloads.two_stage],
+            [
+                (lambda p=p: be.run(idx, QuerySpec.nearest(p, 1)))
+                for p in workloads.two_stage
+            ],
         ),
         (
             "polygon",
-            [(lambda p=p: enclosing_polygon(idx, p)) for p in workloads.two_stage],
+            [
+                (lambda p=p: be.run(idx, QuerySpec.polygon(p)))
+                for p in workloads.two_stage
+            ],
         ),
         (
             "range",
-            [(lambda w=w: window_query(idx, w)) for w in workloads.windows],
+            [
+                (lambda w=w: be.run(idx, QuerySpec.window(w)))
+                for w in workloads.windows
+            ],
         ),
     )
 

@@ -1,0 +1,212 @@
+"""Backend benchmark: scalar vs vector wall-clock on batched workloads.
+
+Emits a ``repro-bench-vector`` record. Unlike the core bench (which
+gates the *paper's* counters at the paper's tiny scale), this record
+exists to keep the vectorized backend honest on two axes at once:
+
+* **Parity**: for every structure and workload the vector leg must
+  produce the same results, ``bbox_comps`` and ``segment_comps`` as the
+  scalar reference. The run *aborts* on any mismatch -- a fast wrong
+  backend must never produce a record.
+* **Speed**: both legs are timed over the same cold-pool workload; the
+  record stores each leg's wall clock and the resulting speedup. The
+  workload is deliberately larger than the core bench (more segments,
+  bigger windows) because that is the regime the batched traversal is
+  for; every knob is in ``params`` so records stay comparable.
+
+The gated counters are the vector leg's (disk accesses may legitimately
+sit far below the scalar leg's: the fused descent and the page-major
+batched verify fetch shared pages once). Wall clock and speedup warn
+but never gate, as CI machines are not benchmark rigs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.runner import (
+    BENCH_SCHEMA_VERSION,
+    _wall_summary,
+    validate_record,
+)
+from repro.core.backends import SCALAR_BACKEND, resolve_backend
+from repro.core.queries.spec import QuerySpec
+from repro.data.counties import generate_county
+from repro.harness.experiment import BuiltStructure, build_structure
+from repro.harness.workloads import QueryWorkloads
+from repro.metric_names import BBOX_COMPS, DISK_ACCESSES, PAPER_METRICS, SEGMENT_COMPS
+from repro.obs.buildinfo import git_sha
+
+#: The record's ``kind`` discriminator.
+VECTOR_BENCH_KIND = "repro-bench-vector"
+
+#: Structures the backend comparison tracks.
+VECTOR_BENCH_STRUCTURES: Tuple[str, ...] = ("R*", "R+", "PMR")
+
+#: Batched workloads: the range windows (the headline case for the
+#: fused descent + batched verify) and the endpoint point queries.
+VECTOR_BENCH_WORKLOADS: Tuple[str, ...] = ("range", "point")
+
+#: Everything that determines the deterministic counters, plus the
+#: repeat count (wall clock is the best of ``repeats`` cold-pool runs).
+VECTOR_DEFAULT_PARAMS: Dict[str, object] = {
+    "county": "cecil",
+    "scale": 0.1,
+    "n_queries": 200,
+    "seed": 1992,
+    "page_size": 1024,
+    "pool_pages": 16,
+    "window_area_fraction": 0.2,
+    "repeats": 5,
+}
+
+
+class BackendParityError(AssertionError):
+    """The vector leg diverged from the scalar reference mid-bench."""
+
+
+def _workload_specs(workloads: QueryWorkloads) -> Dict[str, List[QuerySpec]]:
+    return {
+        "range": [QuerySpec.window(w) for w in workloads.windows],
+        "point": [QuerySpec.point(p) for p, _ in workloads.endpoint_queries],
+    }
+
+
+def _timed_leg(built: BuiltStructure, repeats: int, thunk):
+    """Best-of-``repeats`` cold-pool execution: (results, delta, walls)."""
+    walls: List[float] = []
+    results = delta = None
+    for _ in range(repeats):
+        built.ctx.pool.clear()
+        before = built.ctx.counters.snapshot()
+        start = time.perf_counter()
+        results = thunk()
+        walls.append((time.perf_counter() - start) * 1e3)
+        delta = built.ctx.counters.since(before)
+    return results, delta, walls
+
+
+def run_vector_bench(
+    params: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Run both backend legs and return the schema-versioned record.
+
+    Raises :class:`BackendParityError` if the vector backend's results
+    or comparison counters diverge from the scalar reference anywhere.
+    """
+    p = dict(VECTOR_DEFAULT_PARAMS)
+    if params:
+        p.update(params)
+    vector = resolve_backend("vector")
+    if vector.describe().get("name") != "vector":
+        raise RuntimeError(
+            "the vector backend is unavailable (numpy not importable); "
+            "install the [vector] extra to run this bench"
+        )
+    map_data = generate_county(str(p["county"]), scale=float(p["scale"]))
+    built: Dict[str, BuiltStructure] = {}
+    for name in VECTOR_BENCH_STRUCTURES:
+        built[name] = build_structure(
+            name,
+            map_data,
+            page_size=int(p["page_size"]),
+            pool_pages=int(p["pool_pages"]),
+        )
+    workloads = QueryWorkloads.generate(
+        map_data,
+        built["PMR"].index,
+        int(p["n_queries"]),
+        seed=int(p["seed"]),
+        window_area_fraction=float(p["window_area_fraction"]),
+    )
+    specs_by_workload = _workload_specs(workloads)
+    repeats = int(p["repeats"])
+
+    structures: Dict[str, object] = {}
+    for name in VECTOR_BENCH_STRUCTURES:
+        b = built[name]
+        idx = b.index
+        workload_out: Dict[str, object] = {}
+        totals = {metric: 0 for metric in PAPER_METRICS}
+        for wname, specs in specs_by_workload.items():
+            s_res, s_delta, s_walls = _timed_leg(
+                b,
+                repeats,
+                lambda: [SCALAR_BACKEND.run(idx, s) for s in specs],
+            )
+            v_res, v_delta, v_walls = _timed_leg(
+                b, repeats, lambda: vector.run_batch(idx, specs)
+            )
+            if s_res != v_res:
+                raise BackendParityError(
+                    f"{name}/{wname}: vector results diverge from scalar"
+                )
+            if (
+                s_delta.bbox_comps != v_delta.bbox_comps
+                or s_delta.segment_comps != v_delta.segment_comps
+            ):
+                raise BackendParityError(
+                    f"{name}/{wname}: comparison counters diverge "
+                    f"(bbox {s_delta.bbox_comps} vs {v_delta.bbox_comps}, "
+                    f"segment {s_delta.segment_comps} vs "
+                    f"{v_delta.segment_comps})"
+                )
+            scalar_ms = min(s_walls)
+            vector_ms = min(v_walls)
+            entry: Dict[str, object] = {"queries": len(specs)}
+            entry[DISK_ACCESSES] = v_delta.disk_accesses
+            entry[SEGMENT_COMPS] = v_delta.segment_comps
+            entry[BBOX_COMPS] = v_delta.bbox_comps
+            entry["wall"] = _wall_summary(v_walls)
+            entry["scalar"] = {
+                DISK_ACCESSES: s_delta.disk_accesses,
+                "wall_ms": round(scalar_ms, 4),
+            }
+            entry["vector_ms"] = round(vector_ms, 4)
+            entry["speedup"] = round(scalar_ms / vector_ms, 2)
+            entry["parity"] = True
+            workload_out[wname] = entry
+            for metric in PAPER_METRICS:
+                totals[metric] += int(entry[metric])  # type: ignore[call-overload]
+        structures[name] = {"workloads": workload_out, "totals": totals}
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": VECTOR_BENCH_KIND,
+        "git_sha": git_sha(),
+        "params": p,
+        "structures": structures,
+    }
+
+
+def validate_vector_record(record: object) -> List[str]:
+    """Schema check for ``repro-bench-vector`` records."""
+    problems = validate_record(
+        record,
+        kind=VECTOR_BENCH_KIND,
+        required_structures=VECTOR_BENCH_STRUCTURES,
+        required_workloads=VECTOR_BENCH_WORKLOADS,
+        param_keys=tuple(VECTOR_DEFAULT_PARAMS),
+    )
+    if not isinstance(record, dict):
+        return problems
+    structures = record.get("structures")
+    if not isinstance(structures, dict):
+        return problems
+    for name in VECTOR_BENCH_STRUCTURES:
+        entry = structures.get(name)
+        if not isinstance(entry, dict):
+            continue
+        workload_out = entry.get("workloads")
+        if not isinstance(workload_out, dict):
+            continue
+        for wname in VECTOR_BENCH_WORKLOADS:
+            w = workload_out.get(wname)
+            if not isinstance(w, dict):
+                continue
+            if w.get("parity") is not True:
+                problems.append(f"{name}/{wname}: parity must be true")
+            if not isinstance(w.get("speedup"), (int, float)):
+                problems.append(f"{name}/{wname}: speedup must be a number")
+    return problems

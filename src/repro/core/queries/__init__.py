@@ -23,12 +23,15 @@ from repro.core.queries.point import (
     segments_at_point,
 )
 from repro.core.queries.polygon import PolygonResult, enclosing_polygon
+from repro.core.queries.spec import QuerySpec, execute_spec
 from repro.core.queries.window import window_query
 
 __all__ = [
     "PolygonResult",
+    "QuerySpec",
     "brute_force_join",
     "enclosing_polygon",
+    "execute_spec",
     "incident_segments_with_geometry",
     "iter_nearest",
     "nearest_k_segments",

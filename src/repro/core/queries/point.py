@@ -6,13 +6,19 @@ returning the block containing a point, they return the segments
 is fetched (the id is stored in the node, so no real implementation would
 fetch a segment twice), then verified against the segment table -- each
 verification is one of the paper's segment comparisons.
+
+The public callables are deprecated shims over
+:class:`~repro.core.queries.spec.QuerySpec`; the scalar implementations
+(``scalar_*``) stay here and are what the reference backend runs.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import warnings
+from typing import Iterable, List, Tuple
 
 from repro.core.interface import SpatialIndex
+from repro.core.queries.spec import QuerySpec, execute_spec
 from repro.geometry import Point, Segment
 from repro.obs.explain import (
     CAUSE_SEGMENT_TABLE,
@@ -29,15 +35,42 @@ def incident_segments_with_geometry(
 ) -> List[Tuple[int, Segment]]:
     """Segments incident at ``p``, with their fetched geometry.
 
+    .. deprecated::
+        Thin shim; execute ``QuerySpec.incident(p)`` through a
+        :class:`~repro.core.interface.TraversalBackend` instead.
+    """
+    warnings.warn(
+        "incident_segments_with_geometry() is deprecated; execute "
+        "QuerySpec.incident() through a TraversalBackend",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_spec(index, QuerySpec.incident(p))
+
+
+def scalar_incident_segments(
+    index: SpatialIndex, p: Point
+) -> List[Tuple[int, Segment]]:
+    """Scalar reference implementation of the incidence lookup.
+
     The polygon traversal (query 4) calls this once per vertex and needs
     the directions of the incident edges, so the fetched geometry is
     returned rather than thrown away.
     """
     if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
-        return _incident_profiled(index, p, prof)
+        return verify_incident_profiled(
+            index, index.candidate_ids_at_point(p), p, prof
+        )
+    return verify_incident(index, index.candidate_ids_at_point(p), p)
+
+
+def verify_incident(
+    index: SpatialIndex, candidates: Iterable[int], p: Point
+) -> List[Tuple[int, Segment]]:
+    """Dedup/fetch/verify loop shared by both backends."""
     out: List[Tuple[int, Segment]] = []
     seen = set()
-    for seg_id in index.candidate_ids_at_point(p):
+    for seg_id in candidates:
         if seg_id in seen:
             continue
         seen.add(seg_id)
@@ -47,14 +80,14 @@ def incident_segments_with_geometry(
     return out
 
 
-def _incident_profiled(
-    index: SpatialIndex, p: Point, prof
+def verify_incident_profiled(
+    index: SpatialIndex, candidates: Iterable[int], p: Point, prof
 ) -> List[Tuple[int, Segment]]:
     """The same dedup/verify loop, attributing the segment-table fetches."""
     counters = index.ctx.counters
     out: List[Tuple[int, Segment]] = []
     seen = set()
-    for seg_id in index.candidate_ids_at_point(p):
+    for seg_id in candidates:
         prof.count(COUNT_CANDIDATES)
         if seg_id in seen:
             prof.count(COUNT_DUPLICATES)
@@ -71,8 +104,18 @@ def _incident_profiled(
 
 
 def segments_at_point(index: SpatialIndex, p: Point) -> List[int]:
-    """**Query 1**: ids of all segments with an endpoint at ``p``."""
-    return [seg_id for seg_id, _ in incident_segments_with_geometry(index, p)]
+    """**Query 1**: ids of all segments with an endpoint at ``p``.
+
+    .. deprecated::
+        Thin shim; execute ``QuerySpec.point(p)`` through a backend.
+    """
+    warnings.warn(
+        "segments_at_point() is deprecated; execute QuerySpec.point() "
+        "through a TraversalBackend",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_spec(index, QuerySpec.point(p))
 
 
 def segments_at_other_endpoint(
@@ -80,18 +123,34 @@ def segments_at_other_endpoint(
 ) -> Tuple[Point, List[int]]:
     """**Query 2**: incidences at the other endpoint of a given segment.
 
+    .. deprecated::
+        Thin shim; execute ``QuerySpec.other_endpoint(p, seg_id)``
+        through a backend.
+    """
+    warnings.warn(
+        "segments_at_other_endpoint() is deprecated; execute "
+        "QuerySpec.other_endpoint() through a TraversalBackend",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_spec(index, QuerySpec.other_endpoint(p, seg_id))
+
+
+def other_endpoint_via(index: SpatialIndex, p: Point, seg_id: int, backend):
+    """Query 2 driver, composed from two backend point lookups.
+
     ``p`` is one endpoint of segment ``seg_id``; the segment is located by
     a point query at ``p`` (as the paper's formulation implies), then a
     second point query runs at its other endpoint. Returns that endpoint
     and the incident segment ids (excluding ``seg_id`` itself).
     """
     target = None
-    for sid, seg in incident_segments_with_geometry(index, p):
+    for sid, seg in backend.run(index, QuerySpec.incident(p)):
         if sid == seg_id:
             target = seg
             break
     if target is None:
         raise KeyError(f"segment {seg_id} is not incident at {p!r}")
     other = target.other_endpoint(p)
-    ids = segments_at_point(index, other)
+    ids = backend.run(index, QuerySpec.point(other))
     return other, [sid for sid in ids if sid != seg_id]

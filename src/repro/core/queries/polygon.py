@@ -24,8 +24,8 @@ from __future__ import annotations
 from typing import List, NamedTuple, Optional
 
 from repro.core.interface import SpatialIndex
-from repro.core.queries.nearest import nearest_segment
-from repro.core.queries.point import incident_segments_with_geometry
+from repro.core.queries.nearest import scalar_nearest_segment
+from repro.core.queries.spec import QuerySpec
 from repro.geometry import Point
 from repro.geometry.predicates import orientation, pseudo_angle
 
@@ -72,10 +72,35 @@ def enclosing_polygon(
 ) -> Optional[PolygonResult]:
     """**Query 4**: the boundary of the polygon containing ``p``.
 
-    Returns ``None`` on an empty index. Raises ``RuntimeError`` if the
-    walk fails to close within ``max_steps`` (non-planar input).
+    .. deprecated::
+        Thin shim; execute ``QuerySpec.polygon(p)`` through a
+        :class:`~repro.core.interface.TraversalBackend` instead.
     """
-    found = nearest_segment(index, p)
+    import warnings
+
+    warnings.warn(
+        "enclosing_polygon() is deprecated; execute QuerySpec.polygon() "
+        "through a TraversalBackend",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.queries.spec import execute_spec
+
+    return execute_spec(index, QuerySpec.polygon(p, max_steps))
+
+
+def walk_enclosing_polygon(
+    index: SpatialIndex, p: Point, max_steps: int, backend
+) -> Optional[PolygonResult]:
+    """The face walk, with per-vertex incidence lookups through ``backend``.
+
+    The walk itself is backend-neutral; what a vectorized backend
+    accelerates is the point-incidence prefilter it runs at every vertex
+    (one per boundary edge). Returns ``None`` on an empty index. Raises
+    ``RuntimeError`` if the walk fails to close within ``max_steps``
+    (non-planar input).
+    """
+    found = scalar_nearest_segment(index, p)
     if found is None:
         return None
     seg_id, _ = found
@@ -95,7 +120,7 @@ def enclosing_polygon(
     current_id = seg_id
 
     for _ in range(max_steps):
-        incident = incident_segments_with_geometry(index, v)
+        incident = backend.run(index, QuerySpec.incident(v))
         back = pseudo_angle(u.x - v.x, u.y - v.y)
 
         best_id: Optional[int] = None

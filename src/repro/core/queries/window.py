@@ -1,10 +1,20 @@
-"""Query 5: the window (range) query."""
+"""Query 5: the window (range) query.
+
+The traversal itself now lives behind the backend seam: callers build a
+:class:`~repro.core.queries.spec.QuerySpec` and execute it through a
+:class:`~repro.core.interface.TraversalBackend`. The scalar reference
+implementation -- candidate generation through the index, then the
+dedup/fetch/verify loop -- stays here; the vectorized backend reuses the
+same verify helpers so the two paths stay charge-identical.
+"""
 
 from __future__ import annotations
 
-from typing import List
+import warnings
+from typing import Iterable, List
 
 from repro.core.interface import SpatialIndex
+from repro.core.queries.spec import QuerySpec, execute_spec
 from repro.geometry import Rect
 from repro.obs.explain import (
     CAUSE_SEGMENT_TABLE,
@@ -21,6 +31,26 @@ def window_query(
 ) -> List[int]:
     """**Query 5**: ids of all segments in the closed window.
 
+    .. deprecated::
+        Thin shim kept for callers of the historical entry point; build
+        ``QuerySpec.window(window, mode)`` and run it through
+        :func:`~repro.core.queries.spec.execute_spec` (or the engine's
+        backend) instead. The cache key is unchanged either way.
+    """
+    warnings.warn(
+        "window_query() is deprecated; execute QuerySpec.window() through "
+        "a TraversalBackend (repro.core.queries.spec.execute_spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_spec(index, QuerySpec.window(window, mode))
+
+
+def scalar_window_query(
+    index: SpatialIndex, window: Rect, mode: str = "intersects"
+) -> List[int]:
+    """The scalar reference implementation of query 5.
+
     ``mode`` selects the spatial predicate:
 
     * ``"intersects"`` (the paper's reading: "find all roads that pass
@@ -36,10 +66,27 @@ def window_query(
     if mode not in ("intersects", "contains"):
         raise ValueError(f"mode must be 'intersects' or 'contains', got {mode!r}")
     if TRACER.profiling and (prof := TRACER.current_profile()) is not None:
-        return _window_profiled(index, window, mode, prof)
+        return verify_window_profiled(
+            index, index.candidate_ids_in_rect(window), window, mode, prof
+        )
+    return verify_window(
+        index, index.candidate_ids_in_rect(window), window, mode
+    )
+
+
+def verify_window(
+    index: SpatialIndex, candidates: Iterable[int], window: Rect, mode: str
+) -> List[int]:
+    """Dedup candidates by id, fetch each once, verify against geometry.
+
+    Shared by both backends: the vectorized path feeds it its own
+    candidate stream in profiling-free runs it replaces only the final
+    geometry predicate with an array pass, keeping the fetch order (and
+    therefore every counter) identical.
+    """
     out: List[int] = []
     seen = set()
-    for seg_id in index.candidate_ids_in_rect(window):
+    for seg_id in candidates:
         if seg_id in seen:
             continue
         seen.add(seg_id)
@@ -53,8 +100,12 @@ def window_query(
     return out
 
 
-def _window_profiled(
-    index: SpatialIndex, window: Rect, mode: str, prof
+def verify_window_profiled(
+    index: SpatialIndex,
+    candidates: Iterable[int],
+    window: Rect,
+    mode: str,
+    prof,
 ) -> List[int]:
     """The same dedup/verify loop, attributing the segment-table fetches.
 
@@ -65,7 +116,7 @@ def _window_profiled(
     counters = index.ctx.counters
     out: List[int] = []
     seen = set()
-    for seg_id in index.candidate_ids_in_rect(window):
+    for seg_id in candidates:
         prof.count(COUNT_CANDIDATES)
         if seg_id in seen:
             prof.count(COUNT_DUPLICATES)

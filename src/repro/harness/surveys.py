@@ -15,7 +15,8 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.queries import enclosing_polygon
+from repro.core.backends import SCALAR_BACKEND
+from repro.core.queries.spec import QuerySpec
 from repro.data import two_stage_points
 from repro.data.generator import MapData
 from repro.harness.experiment import build_structure
@@ -52,7 +53,7 @@ def polygon_size_survey(
     sizes: List[int] = []
     outer = 0
     for p in points:
-        result = enclosing_polygon(pmr.index, p)
+        result = SCALAR_BACKEND.run(pmr.index, QuerySpec.polygon(p))
         if result is None or not result.closed:
             continue
         if result.is_outer:

@@ -48,12 +48,9 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.queries import (
-    nearest_k_segments,
-    segments_at_point,
-    window_query,
-)
+from repro.core.backends import resolve_backend
 from repro.core.interface import WORLD_DEPTH
+from repro.core.queries.spec import QuerySpec
 from repro.errors import NotDurableError, ProtocolError
 from repro.geometry import Point, Rect, Segment
 from repro.obs.buildinfo import publish_build_info
@@ -112,6 +109,7 @@ class QueryEngine:
         registry: Optional[MetricsRegistry] = None,
         slow_ms: Optional[float] = None,
         slow_log_capacity: int = 64,
+        backend=None,
     ) -> None:
         from repro.service.cache import ResultCache  # avoid import cycle
 
@@ -123,6 +121,11 @@ class QueryEngine:
         self.index = index
         self.ctx = index.ctx
         self.store = store
+        # How read queries traverse the index: "scalar" (default),
+        # "vector", or a TraversalBackend instance. Results and paper
+        # counters are backend-invariant (the parity suite enforces it),
+        # which is why cache keys carry no backend component.
+        self.backend = resolve_backend(backend)
         self.latch = Latch("buffer-pool")
         self.cache = ResultCache(cache_capacity)
         self.totals = MetricsCounters()
@@ -316,26 +319,88 @@ class QueryEngine:
             )
         counter.inc()
 
+    def _spec_for(self, request) -> QuerySpec:
+        """The backend-neutral query plan for a typed read request."""
+        if isinstance(request, PointQuery):
+            return QuerySpec.point(Point(request.x, request.y))
+        if isinstance(request, WindowQuery):
+            return QuerySpec.window(
+                Rect(request.x1, request.y1, request.x2, request.y2),
+                request.mode,
+            )
+        if isinstance(request, NearestQuery):
+            return QuerySpec.nearest(Point(request.x, request.y), request.k)
+        raise ProtocolError(f"not a read query: {type(request).__name__}")
+
     def _read_thunk(self, request) -> Tuple[Any, Any]:
         """(cache key, traversal thunk) for a typed read query.
 
         Shared by the plain dispatch path and EXPLAIN, so an explained
-        query runs exactly the traversal the ordinary op would.
+        query runs exactly the traversal the ordinary op would. The
+        thunk executes the request's :class:`QuerySpec` through the
+        engine's traversal backend; the cache key is the request's own
+        (backend-free -- results are backend-invariant).
         """
-        if isinstance(request, PointQuery):
-            return request.cache_key(), lambda: segments_at_point(
-                self.index, Point(request.x, request.y)
-            )
-        if isinstance(request, WindowQuery):
-            rect = Rect(request.x1, request.y1, request.x2, request.y2)
-            return request.cache_key(), lambda: window_query(
-                self.index, rect, mode=request.mode
-            )
-        if isinstance(request, NearestQuery):
-            return request.cache_key(), lambda: nearest_k_segments(
-                self.index, Point(request.x, request.y), request.k
-            )
-        raise ProtocolError(f"not a read query: {type(request).__name__}")
+        spec = self._spec_for(request)
+        return request.cache_key(), lambda: self.backend.run(self.index, spec)
+
+    def execute_reads_fused(
+        self, requests, session: Optional[QuerySession] = None
+    ) -> List[Any]:
+        """Run a group of read queries through one fused backend descent.
+
+        The cache is consulted per request exactly as in :meth:`_run`;
+        only the misses reach :meth:`TraversalBackend.run_batch`, which
+        (for a batch-capable backend) tests all of them against each
+        shared upper-level node in a single pass. Results come back in
+        argument order and are cached under the same keys a standalone
+        run would use. Fused members are counted in the per-op request
+        counters but share one traversal span -- the enclosing batch op
+        carries the latency observation.
+        """
+        if session is None:
+            session = self.session("default")
+        results: List[Any] = [None] * len(requests)
+        miss_ix: List[int] = []
+        miss_keys: List[Optional[Tuple]] = []
+        specs: List[QuerySpec] = []
+        for i, request in enumerate(requests):
+            session.queries += 1
+            spec = self._spec_for(request)
+            if request.use_cache:
+                key = request.cache_key()
+                hit, value = self.cache.lookup(key)
+                if hit:
+                    session.cache_hits += 1
+                    if TRACER.enabled:
+                        TRACER.event("cache_hit")
+                    results[i] = value
+                    continue
+                if TRACER.enabled:
+                    TRACER.event("cache_miss")
+            else:
+                key = None
+            miss_ix.append(i)
+            miss_keys.append(key)
+            specs.append(spec)
+        if specs:
+            if TRACER.enabled:
+                with TRACER.span("traverse", fused=len(specs)):
+                    with self._attributed(session):
+                        values = self.backend.run_batch(self.index, specs)
+            else:
+                with self._attributed(session):
+                    values = self.backend.run_batch(self.index, specs)
+            for i, key, value in zip(miss_ix, miss_keys, values):
+                results[i] = value
+                if key is not None:
+                    self.cache.store(key, value)
+        for request in requests:
+            pair = self._op_metrics.get(request.OP)
+            if pair is None:
+                pair = self._metric_pair(request.OP)
+            pair[1].inc()
+        return results
 
     def _dispatch(self, request, session: Optional[QuerySession]):
         if isinstance(request, (PointQuery, WindowQuery, NearestQuery)):
@@ -480,6 +545,7 @@ class QueryEngine:
         report = {
             "op": request.OP,
             "args": inner.describe(),
+            "backend": self.backend.describe(),
             "plan": prof.to_dict(),
             "observed": observed_dict,
             "exact": exact,
@@ -583,6 +649,7 @@ class QueryEngine:
                 self.index.insert(seg_id)
         self._commit_barrier()
         self.cache.invalidate_all()
+        self.backend.invalidate()
         return seg_id
 
     def insert(self, seg_id: int, session: Optional[QuerySession] = None) -> None:
@@ -602,6 +669,7 @@ class QueryEngine:
         with self._attributed(session):
             self.index.insert(seg_id)
         self.cache.invalidate_all()
+        self.backend.invalidate()
 
     def delete(self, seg_id: int, session: Optional[QuerySession] = None) -> None:
         """Unindex a segment, invalidating the cache.
@@ -630,6 +698,7 @@ class QueryEngine:
                 self.index.delete(seg_id)
         self._commit_barrier()
         self.cache.invalidate_all()
+        self.backend.invalidate()
         return True
 
     def checkpoint(self, session: Optional[QuerySession] = None, _crash_point=None):
@@ -712,6 +781,7 @@ class QueryEngine:
                     "pages": self.index.page_count(),
                 },
                 "totals": self.totals.as_dict(),
+                "backend": self.backend.describe(),
                 "pool": {
                     "capacity": pool.capacity,
                     "resident": len(pool),

@@ -13,8 +13,13 @@ regions it touches, fanned out concurrently, and the replies merged --
   and cut to ``k`` -- the union of local top-k contains the global
   top-k, because each global winner is locally indexed somewhere with a
   local rank no worse than its global rank.
-* **insert / delete / batch / checkpoint** go to all shards (replicated
-  table: every table appends in lockstep, so positional seg_ids agree).
+* **insert / delete / checkpoint** go to all shards (replicated table:
+  every table appends in lockstep, so positional seg_ids agree).
+* **batch** is clipped per member when it is read-only: each sub-request
+  goes only to the shards its geometry touches (per-shard sub-batches,
+  positional merge), so batch page traffic scales down with the clip.
+  A batch carrying any mutation broadcasts whole, keeping barrier
+  positions identical on every replicated table.
 * **stats / metrics / check / health / trace / explain** are merged
   observability: counters are summed (per-shard totals add up to the
   routed totals exactly), Prometheus expositions are relabelled
@@ -64,6 +69,7 @@ from repro.service.api import (
     NearestQuery,
     PointQuery,
     WindowQuery,
+    parse_batch_item,
     parse_request,
     request_version,
 )
@@ -496,12 +502,17 @@ class RouterCore:
                 partial_merge=lambda oks: {"applied": sorted(oks)},
             )
         if isinstance(request, BatchRequest):
-            return self._gather(
-                self._specs(),
-                raw,
-                lambda oks: self._merge_batch(request, oks),
-                partial_merge=lambda oks: {"applied": sorted(oks)},
-            )
+            assignment = self._batch_assignment(request)
+            if assignment is None:
+                # Mutations must reach every replicated table: the whole
+                # batch broadcasts so barrier positions agree shard-wide.
+                return self._gather(
+                    self._specs(),
+                    raw,
+                    lambda oks: self._merge_batch(request, oks),
+                    partial_merge=lambda oks: {"applied": sorted(oks)},
+                )
+            return self._clipped_batch(request, assignment)
         if isinstance(request, Explain):
             return self._routed_explain(request, raw)
         if op == "checkpoint":
@@ -570,6 +581,130 @@ class RouterCore:
             "results": merged,
             "order": oks[shard_ids[0]]["order"],
             DISK_ACCESSES: sum(oks[sid][DISK_ACCESSES] for sid in shard_ids),
+        }
+
+    def _batch_assignment(
+        self, request: BatchRequest
+    ) -> Optional[Dict[str, List[int]]]:
+        """Shard id -> member indices for a read-only batch.
+
+        Each member is clipped to the shards its geometry touches (the
+        same routing the standalone ops get): points and windows go to
+        intersecting regions only, nearest to every shard. Returns
+        ``None`` when the batch carries a mutation -- those broadcast
+        whole, so barrier positions agree on every replicated table.
+        Member indices stay in arrival order inside each sub-batch, so a
+        shard's Morton scheduling sees the same read-run structure the
+        single-node executor would.
+        """
+        smap = self.shard_map
+        assignment: Dict[str, List[int]] = {}
+        for idx, member in enumerate(request.requests):
+            typed = parse_batch_item(member)
+            if isinstance(typed, (Insert, Delete)):
+                return None
+            if isinstance(typed, PointQuery):
+                specs = smap.route_point(typed.x, typed.y)
+            elif isinstance(typed, WindowQuery):
+                specs = smap.route_rect(
+                    Rect(typed.x1, typed.y1, typed.x2, typed.y2)
+                )
+            else:  # NearestQuery: any shard may hold a global winner
+                specs = list(smap.shards)
+            for spec in specs:
+                assignment.setdefault(spec.shard_id, []).append(idx)
+        return assignment
+
+    def _clipped_batch(
+        self, request: BatchRequest, assignment: Dict[str, List[int]]
+    ) -> Dict[str, Any]:
+        """Scatter per-shard sub-batches and merge positionally.
+
+        Unlike the broadcast path, each shard executes only the members
+        its region can answer, so batch page traffic scales down with
+        the clip exactly like standalone reads do.
+        """
+        payloads = {
+            sid: {
+                "op": "batch",
+                "requests": [request.requests[i] for i in ixs],
+                "order": request.order,
+                "use_cache": request.use_cache,
+            }
+            for sid, ixs in assignment.items()
+        }
+        if not payloads:  # every member clipped to nothing (or empty batch)
+            return self._merge_clipped(request, assignment, {})
+
+        def call(sid: str):
+            try:
+                return sid, self.clients[sid].request(payloads[sid]), None
+            except ShardUnavailableError as exc:
+                return sid, None, exc
+
+        futures = [self._pool.submit(call, sid) for sid in payloads]
+        responses: Dict[str, Any] = {}
+        failures: Dict[str, ShardUnavailableError] = {}
+        for future in futures:
+            sid, response, exc = future.result()
+            if exc is not None:
+                failures[sid] = exc
+            else:
+                responses[sid] = response
+        oks: Dict[str, Any] = {}
+        relayed: Dict[str, Dict[str, Any]] = {}
+        for sid, response in responses.items():
+            if response.get("ok"):
+                oks[sid] = response.get("result")
+            else:
+                relayed[sid] = response.get("error") or {}
+        if failures or relayed:
+            if failures:
+                sid = sorted(failures)[0]
+                exc_out: Exception = failures[sid]
+            else:
+                sid = sorted(relayed)[0]
+                exc_out = _RelayedError(sid, relayed[sid])
+            if oks:
+                try:
+                    merged = self._merge_clipped(request, assignment, oks)
+                except Exception:
+                    merged = None
+                exc_out.partial = {"shards": sorted(oks), "result": merged}
+            raise exc_out
+        return self._merge_clipped(request, assignment, oks)
+
+    def _merge_clipped(
+        self,
+        request: BatchRequest,
+        assignment: Dict[str, List[int]],
+        oks: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Member-wise merge of clipped sub-batch results.
+
+        A member that routed to no shard merges over zero answers: an
+        empty id list, which is correct -- no shard's region touches it,
+        so no shard indexes a qualifying segment.
+        """
+        per_member: List[List[Any]] = [[] for _ in request.requests]
+        for sid, ixs in assignment.items():
+            if sid not in oks:
+                continue
+            shard_results = oks[sid]["results"]
+            for j, idx in enumerate(ixs):
+                per_member[idx].append(shard_results[j])
+        merged: List[Any] = []
+        for idx, member in enumerate(request.requests):
+            if member.get("op") == "nearest":
+                merged.append(
+                    merge_nearest(per_member[idx], int(member.get("k", 1)))
+                )
+            else:  # point / window
+                merged.append(merge_id_lists(per_member[idx]))
+        return {
+            "results": merged,
+            "order": request.order,
+            DISK_ACCESSES: sum(oks[sid][DISK_ACCESSES] for sid in oks),
         }
 
     def _routed_explain(

@@ -82,6 +82,7 @@ class ShardEngine(QueryEngine):
                     self.index.insert(seg_id)
         self._commit_barrier()
         self.cache.invalidate_all()
+        self.backend.invalidate()
         return seg_id
 
     def _apply_delete(
@@ -105,6 +106,7 @@ class ShardEngine(QueryEngine):
                     deleted = False  # not locally indexed: a peer owns it
         self._commit_barrier()
         self.cache.invalidate_all()
+        self.backend.invalidate()
         return deleted
 
     def stats(self) -> dict:
@@ -256,6 +258,7 @@ def open_shard(
     replay_order: str = "morton",
     cache_capacity: int = 256,
     slow_ms: Optional[float] = None,
+    backend: Any = None,
 ):
     """Recover one shard's store and wrap it in a :class:`ShardEngine`.
 
@@ -283,6 +286,7 @@ def open_shard(
         registry=MetricsRegistry(),
         cache_capacity=cache_capacity,
         slow_ms=slow_ms,
+        backend=backend,
     )
     return smap, engine
 
@@ -295,6 +299,7 @@ def serve_shard(
     pool_pages: int = 16,
     group_commit: int = 1,
     slow_ms: Optional[float] = None,
+    backend: Any = None,
 ) -> MapServer:
     """Open a shard and bind its server (not yet serving).
 
@@ -308,6 +313,7 @@ def serve_shard(
         pool_pages=pool_pages,
         group_commit=group_commit,
         slow_ms=slow_ms,
+        backend=backend,
     )
     server = ShardServer(engine, host=host, port=port)
     bound_host, bound_port = server.address

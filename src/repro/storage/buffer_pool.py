@@ -64,6 +64,65 @@ class BufferPool:
         self._admit(page_id, payload, dirty=False)
         return payload
 
+    def get_run(self, page_id: int, count: int) -> Any:
+        """Fetch a page charged as ``count`` back-to-back accesses.
+
+        Counter-, trace- and replacement-equivalent to calling
+        :meth:`get` ``count`` times in a row: the first access takes the
+        hit/miss decision, the remaining ``count - 1`` are buffer hits
+        on the now-resident page, and the policy sees one net access
+        position (LRU is idempotent under repeated touches). Exists so
+        the vectorized verify can collapse a run of same-page segment
+        fetches into one call without perturbing any measurement.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.counters.buffer_hits += count
+            self._policy.record_access(page_id)
+            if TRACER.enabled:
+                for _ in range(count):
+                    TRACER.event("page_fetch", page=page_id, outcome="hit")
+            return frame.payload
+        self.counters.disk_reads += 1
+        self.counters.buffer_hits += count - 1
+        if TRACER.enabled:
+            TRACER.event("page_fetch", page=page_id, outcome="miss")
+            for _ in range(count - 1):
+                TRACER.event("page_fetch", page=page_id, outcome="hit")
+        payload = self.disk.read(page_id)
+        self._admit(page_id, payload, dirty=False)
+        return payload
+
+    def get_runs(self, runs) -> None:
+        """Charge an ordered sequence of ``(page_id, count)`` access runs.
+
+        Equivalent to calling :meth:`get_run` once per pair, in order,
+        discarding the payloads: same counters, same trace events, same
+        residency and replacement state afterwards. One call amortizes
+        the per-access overhead when a vectorized reader has already
+        planned a whole query's page traffic.
+        """
+        if TRACER.enabled:
+            for page_id, count in runs:
+                self.get_run(page_id, count)
+            return
+        counters = self.counters
+        frames = self._frames
+        record = self._policy.record_access
+        read = self.disk.read
+        for page_id, count in runs:
+            if count <= 0:
+                raise ValueError(f"count must be positive, got {count}")
+            if page_id in frames:
+                counters.buffer_hits += count
+                record(page_id)
+            else:
+                counters.disk_reads += 1
+                counters.buffer_hits += count - 1
+                self._admit(page_id, read(page_id), dirty=False)
+
     def create(self, payload: Any) -> int:
         """Allocate a new page born dirty in the pool (no read charged)."""
         page_id = self.disk.allocate(payload)

@@ -93,6 +93,16 @@ class SegmentTable:
         page = self.pool.get(self._page_ids[seg_id // self.per_page])
         return page[seg_id % self.per_page]
 
+    @property
+    def page_ids(self) -> List[int]:
+        """The table's page ids in slot order (read-only by convention).
+
+        ``seg_id // per_page`` indexes this list; exposed so batched
+        readers (the vectorized verify) can plan run-collapsed page
+        access without reaching into private state.
+        """
+        return self._page_ids
+
     def peek(self, seg_id: int) -> Segment:
         """Fetch a segment WITHOUT touching counters or the buffer pool.
 

@@ -126,11 +126,7 @@ def probe_results(index, max_points: int = 40) -> Dict[str, Any]:
     by distance multiset (rounded), which is invariant under the
     tie-breaking freedom different tree shapes legitimately have.
     """
-    from repro.core.queries import (
-        nearest_k_segments,
-        segments_at_point,
-        window_query,
-    )
+    from repro.core.queries.spec import QuerySpec, execute_spec
 
     table = index.ctx.segments
     points = []
@@ -142,17 +138,19 @@ def probe_results(index, max_points: int = 40) -> Dict[str, Any]:
         points.append((float(seg.x1), float(seg.y1)))
     out: Dict[str, Any] = {}
     for x, y in points:
-        out[f"point:{x}:{y}"] = sorted(segments_at_point(index, Point(x, y)))
+        out[f"point:{x}:{y}"] = sorted(
+            execute_spec(index, QuerySpec.point(Point(x, y)))
+        )
     for rect in (
         Rect(0, 0, 300, 300),
         Rect(200, 200, 700, 700),
         Rect(0, 0, SMALL_WORLD, SMALL_WORLD),
     ):
         out[f"window:{rect}"] = sorted(
-            window_query(index, rect, mode="intersects")
+            execute_spec(index, QuerySpec.window(rect, "intersects"))
         )
     for x, y in ((50, 50), (430, 410), (900, 120)):
-        pairs = nearest_k_segments(index, Point(x, y), 3)
+        pairs = execute_spec(index, QuerySpec.nearest(Point(x, y), 3))
         out[f"nearest:{x}:{y}"] = sorted(round(d, 6) for _, d in pairs)
     return out
 

@@ -112,3 +112,56 @@ class TestRegressionGate:
         other["schema_version"] = BENCH_SCHEMA_VERSION + 1
         code, _ = compare_records(record, other, tolerance=0.10)
         assert code == EXIT_INCOMPARABLE
+
+
+class TestVectorBenchKind:
+    """The backend-comparison record speaks the same gate protocol."""
+
+    @pytest.fixture(scope="class")
+    def vector_record(self):
+        vector_mod = pytest.importorskip(
+            "numpy", reason="vector bench needs the [vector] extra"
+        )
+        del vector_mod
+        from repro.bench import run_vector_bench
+
+        return run_vector_bench(
+            {"county": "cecil", "scale": 0.01, "n_queries": 5, "repeats": 1}
+        )
+
+    def test_fresh_vector_record_validates(self, vector_record):
+        from repro.bench import validate_vector_record
+
+        assert validate_vector_record(vector_record) == []
+        for entry in vector_record["structures"].values():
+            for w in entry["workloads"].values():
+                assert w["parity"] is True
+                assert isinstance(w["speedup"], float)
+
+    def test_vector_record_self_compares_clean(self, vector_record):
+        code, lines = compare_records(vector_record, vector_record)
+        assert code == EXIT_OK, lines
+
+    def test_vector_and_core_records_are_incomparable(self, vector_record, record):
+        code, lines = compare_records(record, vector_record, tolerance=0.10)
+        assert code == EXIT_INCOMPARABLE
+        assert any("not comparable" in line for line in lines)
+
+    def test_parity_failure_aborts_instead_of_recording(self, monkeypatch):
+        pytest.importorskip("numpy")
+        import repro.bench.vector as vb
+
+        class _LyingBackend:
+            def describe(self):
+                return {"name": "vector"}
+
+            def run_batch(self, index, specs):
+                return [[] for _ in specs]
+
+        monkeypatch.setattr(
+            vb, "resolve_backend", lambda name: _LyingBackend()
+        )
+        with pytest.raises(vb.BackendParityError):
+            vb.run_vector_bench(
+                {"county": "cecil", "scale": 0.01, "n_queries": 3, "repeats": 1}
+            )

@@ -219,6 +219,65 @@ class TestMutationsThroughRouter:
         assert results[1] == sorted(service.oracle.window(0, 0, 500, 500))
 
 
+class TestBatchClipping:
+    def _shard_totals(self, service):
+        resp = service.request({"op": "stats"})
+        assert resp["ok"], resp
+        return {
+            sid: dict(entry["totals"])
+            for sid, entry in resp["result"]["shards"].items()
+        }
+
+    def test_read_only_batch_clips_to_touched_shards(self, service):
+        # A point query's geometry touches one (occasionally two) of the
+        # three shard regions; a read-only batch must route each member
+        # only there, leaving the other shards' counters untouched.
+        seg = service.map_data.segments[0]
+        before = self._shard_totals(service)
+        resp = service.request(
+            {
+                "op": "batch",
+                "use_cache": False,
+                "requests": [
+                    {"op": "point", "x": seg.x1, "y": seg.y1},
+                    {"op": "point", "x": seg.x1, "y": seg.y1},
+                ],
+            }
+        )
+        assert resp["ok"], resp
+        expected = sorted(service.oracle.point(seg.x1, seg.y1))
+        assert resp["result"]["results"] == [expected, expected]
+        after = self._shard_totals(service)
+        touched = [sid for sid in after if after[sid] != before[sid]]
+        assert 1 <= len(touched) < len(after), touched
+
+    def test_mutating_batch_broadcasts(self, service):
+        # Any mutation in the batch forces a whole-batch broadcast so
+        # the replicated segment tables stay identical on every shard.
+        before = self._shard_totals(service)
+        resp = service.request(
+            {
+                "op": "batch",
+                "requests": [
+                    {"op": "insert", "x1": 3.0, "y1": 3.0, "x2": 6.0, "y2": 6.0}
+                ],
+            }
+        )
+        assert resp["ok"], resp
+        seg_id = resp["result"]["results"][0]
+        assert seg_id == service.oracle.insert_segment(
+            Segment(3.0, 3.0, 6.0, 6.0)
+        )
+        try:
+            after = self._shard_totals(service)
+            touched = [sid for sid in after if after[sid] != before[sid]]
+            assert sorted(touched) == sorted(after), touched
+        finally:
+            resp = service.request({"op": "delete", "seg_id": seg_id})
+            assert resp["ok"] and resp["result"] is True, resp
+            service.oracle.delete(seg_id)
+
+
 class TestCounterMerge:
     def test_router_totals_are_shard_sums(self, service):
         # Push some traffic first so the counters are warm.

@@ -1,0 +1,204 @@
+"""Parity suite for the vectorized traversal backend.
+
+The contract under test (see ``repro/core/vector.py``): for every query
+and structure, the vector backend returns *identical results* and
+*identical paper counters* to the scalar reference -- per query for
+``run()``, per batch totals for ``run_batch()`` (where only the
+disk/hit split inside the pool-get total may shift, never the total or
+the comparison counts). The suite runs twin builds of each structure so
+the two backends never share buffer-pool state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backends import SCALAR_BACKEND, ScalarBackend, resolve_backend
+from repro.core.queries.spec import QuerySpec
+from repro.core.vector import HAVE_NUMPY, VectorBackend
+from repro.geometry import Point, Rect
+from repro.service.api import BatchRequest, Explain, PointQuery, WindowQuery
+from repro.service.engine import QueryEngine
+
+from .conftest import build_index, lattice_map
+
+# Module-level skip would also silence the fallback tests, which are
+# exactly the ones that must run on a numpy-less interpreter.
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="vector backend needs numpy"
+)
+
+STRUCTURES = ["R*", "R+", "PMR"]
+
+SEGS = lattice_map(n=8, pitch=100, jitter=15, seed=7)
+
+
+def _workload_specs():
+    """A mixed workload touching every op the backend dispatches."""
+    specs = [
+        QuerySpec.window(Rect(120, 120, 430, 380)),
+        QuerySpec.window(Rect(0, 0, 1024, 1024)),
+        QuerySpec.window(Rect(640, 100, 660, 800)),
+        QuerySpec.window(Rect(50, 50, 55, 55)),  # empty corner
+        QuerySpec.window(Rect(150, 150, 700, 700), mode="contains"),
+        QuerySpec.point(Point(SEGS[0].x1, SEGS[0].y1)),
+        QuerySpec.point(Point(SEGS[10].x2, SEGS[10].y2)),
+        QuerySpec.point(Point(3, 3)),  # miss
+        QuerySpec.incident(Point(SEGS[5].x1, SEGS[5].y1)),
+        QuerySpec.nearest(Point(512, 512), k=3),
+        QuerySpec.other_endpoint(Point(SEGS[2].x1, SEGS[2].y1), 2),
+        QuerySpec.polygon(Point(333, 333)),
+    ]
+    return specs
+
+
+def _twin(kind):
+    """Two identical builds (twin pools, so counter splits compare 1:1)."""
+    return build_index(kind, SEGS), build_index(kind, SEGS)
+
+
+def _delta(idx, thunk):
+    idx.ctx.pool.clear()
+    before = idx.ctx.counters.snapshot()
+    value = thunk()
+    return value, idx.ctx.counters.since(before)
+
+
+@needs_numpy
+@pytest.mark.parametrize("kind", STRUCTURES)
+class TestSingleQueryParity:
+    def test_results_and_counters_identical(self, kind):
+        idx_s, idx_v = _twin(kind)
+        vec = resolve_backend("vector")
+        assert isinstance(vec, VectorBackend)
+        for spec in _workload_specs():
+            got_s, d_s = _delta(idx_s, lambda: SCALAR_BACKEND.run(idx_s, spec))
+            got_v, d_v = _delta(idx_v, lambda: vec.run(idx_v, spec))
+            assert got_s == got_v, spec
+            # Single-query runs keep the *exact* counter split, not just
+            # the totals: disk reads, hits, and both comparison counts.
+            assert d_s.as_dict() == d_v.as_dict(), spec
+
+    def test_batch_totals_match_sequential_scalar(self, kind):
+        idx_s, idx_v = _twin(kind)
+        vec = resolve_backend("vector")
+        specs = _workload_specs()
+        got_s, d_s = _delta(
+            idx_s, lambda: [SCALAR_BACKEND.run(idx_s, s) for s in specs]
+        )
+        got_v, d_v = _delta(idx_v, lambda: vec.run_batch(idx_v, specs))
+        assert got_s == got_v
+        assert d_s.bbox_comps == d_v.bbox_comps
+        assert d_s.segment_comps == d_v.segment_comps
+        # Fused descents fetch a node page once per frontier visit
+        # instead of once per query, so the batch's pool-get total may
+        # only shrink, never grow -- and disk faults never increase.
+        assert (
+            d_v.disk_reads + d_v.buffer_hits
+            <= d_s.disk_reads + d_s.buffer_hits
+        )
+        assert d_v.disk_reads <= d_s.disk_reads
+
+    def test_explain_attribution_matches_scalar(self, kind):
+        idx_s, idx_v = _twin(kind)
+        eng_s = QueryEngine(idx_s, backend="scalar")
+        eng_v = QueryEngine(idx_v, backend="vector")
+        req = Explain(WindowQuery(100, 100, 600, 600))
+        rep_s = eng_s.execute(req)
+        rep_v = eng_v.execute(req)
+        assert rep_s["exact"] and rep_v["exact"]
+        assert rep_s["result_count"] == rep_v["result_count"]
+        assert rep_s["observed"] == rep_v["observed"]
+        # Per-level attribution, not just totals, is backend-invariant.
+        assert rep_s["plan"]["levels"] == rep_v["plan"]["levels"]
+        assert rep_s["backend"]["name"] == "scalar"
+        assert rep_v["backend"]["name"] == "vector"
+
+    def test_mutation_invalidates_mirrors(self, kind):
+        from repro.geometry import Segment
+
+        idx_s, idx_v = _twin(kind)
+        vec = resolve_backend("vector")
+        spec = QuerySpec.window(Rect(0, 0, 1024, 1024))
+        assert vec.run(idx_v, spec) == SCALAR_BACKEND.run(idx_s, spec)
+        for idx in (idx_s, idx_v):
+            seg_id = idx.ctx.segments.append(Segment(10, 500, 990, 500))
+            idx.insert(seg_id)
+        vec.invalidate()
+        got_s = SCALAR_BACKEND.run(idx_s, spec)
+        got_v = vec.run(idx_v, spec)
+        assert got_s == got_v
+        assert any(
+            sid == len(SEGS) for sid in got_v
+        ), "freshly inserted segment must be visible post-invalidate"
+
+
+@needs_numpy
+class TestEngineIntegration:
+    def test_cross_backend_cache_hit(self):
+        # Cache keys carry no backend component: a result cached under
+        # the scalar backend is served verbatim after a backend swap.
+        idx = build_index("R*", SEGS)
+        engine = QueryEngine(idx, backend="scalar")
+        req = WindowQuery(100, 100, 600, 600)
+        first = engine.execute(req)
+        assert engine.cache.peek(req.cache_key())
+        engine.backend = resolve_backend("vector")
+        before = idx.ctx.counters.snapshot()
+        second = engine.execute(req)
+        assert second == first
+        after = idx.ctx.counters.since(before)
+        assert after.as_dict() == {
+            name: 0 for name in after.as_dict()
+        }, "cache hit must not traverse"
+
+    def test_engine_batch_fuses_under_vector_backend(self):
+        idx_s, idx_v = _twin("R*")
+        eng_s = QueryEngine(idx_s, backend="scalar")
+        eng_v = QueryEngine(idx_v, backend="vector")
+        items = [
+            {"op": "window", "x1": 100, "y1": 100, "x2": 400, "y2": 400},
+            {"op": "window", "x1": 300, "y1": 300, "x2": 900, "y2": 900},
+            {"op": "point", "x": SEGS[0].x1, "y": SEGS[0].y1},
+            {"op": "nearest", "x": 500, "y": 500, "k": 2},
+        ]
+        batch = BatchRequest(requests=tuple(items), use_cache=False)
+        out_s = eng_s.execute(batch)
+        out_v = eng_v.execute(batch)
+        assert out_s.results == out_v.results
+
+    def test_stats_report_backend(self):
+        idx = build_index("R*", SEGS)
+        engine = QueryEngine(idx, backend="vector")
+        desc = engine.stats()["backend"]
+        assert desc["name"] == "vector"
+        engine.execute(PointQuery(SEGS[0].x1, SEGS[0].y1))
+
+
+class TestNumpyAbsentFallback:
+    def test_resolve_falls_back_with_indicator(self, monkeypatch):
+        import repro.core.vector as vector_mod
+
+        monkeypatch.setattr(vector_mod, "HAVE_NUMPY", False)
+        be = resolve_backend("vector")
+        assert isinstance(be, ScalarBackend)
+        assert be.describe() == {
+            "name": "scalar",
+            "requested": "vector",
+            "fallback": True,
+        }
+
+    def test_engine_still_answers_under_fallback(self, monkeypatch):
+        import repro.core.vector as vector_mod
+
+        monkeypatch.setattr(vector_mod, "HAVE_NUMPY", False)
+        idx = build_index("R*", SEGS)
+        engine = QueryEngine(idx, backend="vector")
+        stats = engine.stats()["backend"]
+        assert stats["fallback"] is True and stats["requested"] == "vector"
+        got = engine.execute(WindowQuery(100, 100, 600, 600))
+        assert got == sorted(
+            SCALAR_BACKEND.run(idx, QuerySpec.window(Rect(100, 100, 600, 600)))
+        ) or got == SCALAR_BACKEND.run(
+            idx, QuerySpec.window(Rect(100, 100, 600, 600))
+        )
