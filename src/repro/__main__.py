@@ -175,6 +175,32 @@ def _sanitizer_verdict() -> int:
     return len(report["potential_deadlocks"])
 
 
+def _arm_tracing(args) -> None:
+    """Apply ``--trace`` / ``--trace-sample`` to the process-wide tracer.
+
+    ``--trace-sample RATE`` arms distributed tail-based sampling (trace
+    ids on the wire, head decision at RATE, errored/slow retention);
+    plain ``--trace`` keeps the legacy record-everything mode.
+    """
+    sample = getattr(args, "trace_sample", None)
+    if sample is None and not getattr(args, "trace", False):
+        return
+    from repro.obs import TRACER
+
+    capacity = getattr(args, "trace_capacity", None)
+    if sample is not None:
+        try:
+            TRACER.arm(
+                sample,
+                slow_ms=getattr(args, "slow_ms", None),
+                capacity=capacity,
+            )
+        except ValueError as exc:
+            sys.exit(f"error: {exc}")
+    else:
+        TRACER.enable(capacity=capacity)
+
+
 def _cmd_serve(args) -> int:
     from repro.service import MapServer, QueryEngine
 
@@ -186,10 +212,7 @@ def _cmd_serve(args) -> int:
         index = store.index
     else:
         index = _build_or_open(args)
-    if args.trace:
-        from repro.obs import TRACER
-
-        TRACER.enable(capacity=args.trace_capacity)
+    _arm_tracing(args)
     engine = QueryEngine(
         index,
         cache_capacity=args.cache_size,
@@ -393,6 +416,7 @@ def _cmd_shard_worker(args) -> int:
     from repro.shard import serve_shard
 
     _maybe_enable_sanitizer(args)
+    _arm_tracing(args)
     try:
         server = serve_shard(
             args.root,
@@ -426,6 +450,7 @@ def _cmd_route(args) -> int:
     from repro.shard import ShardRouter
 
     _maybe_enable_sanitizer(args)
+    _arm_tracing(args)
     if args.use_async:
         import asyncio
 
@@ -535,7 +560,10 @@ def _cmd_stats(args) -> int:
         elif args.format == "json":
             response = send_request(address, {"op": "metrics", "v": 1})
         else:  # traces
-            response = send_request(address, {"op": "trace", "v": 1})
+            payload: dict = {"op": "trace", "v": 1}
+            if args.trace_id is not None:
+                payload["trace_id"] = args.trace_id
+            response = send_request(address, payload)
     except (ConnectionError, OSError) as exc:
         print(
             f"error: cannot reach server at {args.host}:{args.port}: {exc}",
@@ -552,8 +580,94 @@ def _cmd_stats(args) -> int:
         return 1
     if args.format == "prom":
         sys.stdout.write(response["result"])
+    elif args.format == "traces":
+        print(_render_traces(response["result"]))
     else:
         print(json.dumps(response["result"], indent=2))
+    return 0
+
+
+def _render_traces(result) -> str:
+    """Render a trace response (single-node, routed, or by-id) as trees."""
+    from repro.obs.trace import format_trace_tree
+
+    records: list = []
+
+    def collect(res) -> None:
+        if not isinstance(res, dict):
+            return
+        if isinstance(res.get("trace"), dict):
+            records.append(res["trace"])
+        for rec in res.get("traces") or []:
+            if isinstance(rec, dict):
+                records.append(rec)
+        for sub in (res.get("shards") or {}).values():
+            collect(sub)
+
+    collect(result)
+    if not records:
+        return "(no buffered traces)"
+    blocks = []
+    for rec in records:
+        header = ""
+        if rec.get("trace_id"):
+            bits = [f"trace {rec['trace_id']}"]
+            if rec.get("retained"):
+                bits.append(f"retained={rec['retained']}")
+            header = "  ".join(bits) + "\n"
+        blocks.append(header + format_trace_tree(rec))
+    return "\n\n".join(blocks)
+
+
+def _cmd_profile(args) -> int:
+    """Sample a running server's (or routed shard set's) thread stacks."""
+    from repro.obs.profile import collapsed_text
+    from repro.service import send_request
+
+    host, sep, port_text = args.address.rpartition(":")
+    if not sep or not port_text.isdigit():
+        sys.exit(f"error: address must be host:port, got {args.address!r}")
+    address = (host or "127.0.0.1", int(port_text))
+    payload = {"op": "profile", "seconds": args.seconds, "hz": args.hz, "v": 1}
+    try:
+        # A routed profile takes the window on every shard plus its own:
+        # allow the window twice over, plus transport slack.
+        response = send_request(
+            address, payload, timeout=args.seconds * 2 + 15.0
+        )
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach server at {address[0]}:{address[1]}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if not response.get("ok"):
+        error = response.get("error", {})
+        print(
+            f"error: server refused: {error.get('code')}: "
+            f"{error.get('message')}",
+            file=sys.stderr,
+        )
+        return 1
+    profile = response["result"]
+    summary = (
+        f"{profile['samples']} samples over {profile['seconds']:.1f}s "
+        f"at {profile['hz']}Hz ({len(profile['stacks'])} distinct stacks)"
+    )
+    parts = profile.get("parts")
+    if parts:
+        summary += f" across {', '.join(parts)}"
+    # Keep stdout pure collapsed-stack format (flamegraph.pl input);
+    # the human summary goes to stderr.
+    print(summary, file=sys.stderr)
+    text = collapsed_text(profile)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        print(f"wrote collapsed stacks to {args.out}", file=sys.stderr)
+    elif text:
+        print(text)
     return 0
 
 
@@ -856,6 +970,15 @@ def main(argv=None) -> int:
         help="finished traces kept in the ring buffer",
     )
     p.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="arm distributed tail-based trace sampling at this head "
+        "rate in [0, 1]; errored (and, with --slow-ms, slow) requests "
+        "are retained regardless",
+    )
+    p.add_argument(
         "--slow-ms",
         type=float,
         default=None,
@@ -1005,6 +1128,19 @@ def main(argv=None) -> int:
     p.add_argument("--group-commit", type=int, default=1)
     p.add_argument("--slow-ms", type=float, default=None)
     p.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="arm distributed tail-based trace sampling at this head rate",
+    )
+    p.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        help="finished traces kept in the ring buffer",
+    )
+    p.add_argument(
         "--sanitize",
         action="store_true",
         help="enable the runtime lock-order sanitizer for this worker",
@@ -1027,6 +1163,26 @@ def main(argv=None) -> int:
         type=float,
         default=5.0,
         help="per-shard request timeout in seconds",
+    )
+    p.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="arm distributed tail-based trace sampling at this head "
+        "rate; sampled requests return a stitched cross-shard trace tree",
+    )
+    p.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        help="finished traces kept in the router's ring buffer",
+    )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="tail-retain traces at least this slow even when unsampled",
     )
     p.add_argument(
         "--sanitize",
@@ -1070,7 +1226,31 @@ def main(argv=None) -> int:
         default="json",
         choices=["json", "prom", "traces"],
         help="json = metrics registry, prom = Prometheus text exposition, "
-        "traces = recent trace trees",
+        "traces = recent trace trees, rendered",
+    )
+    p.add_argument(
+        "--trace-id",
+        default=None,
+        help="with --format traces: fetch one trace by id (the 'tc.t' a "
+        "sampled response carried); against a router this returns the "
+        "stitched cross-shard tree",
+    )
+
+    p = sub.add_parser(
+        "profile",
+        help="sampling-profile a running server or router (collapsed "
+        "flamegraph stacks on stdout)",
+    )
+    p.add_argument("address", help="host:port of a running server/router")
+    p.add_argument(
+        "--seconds", type=float, default=1.0, help="sampling window"
+    )
+    p.add_argument("--hz", type=int, default=97, help="sampling frequency")
+    p.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="write collapsed stacks to this file instead of stdout",
     )
 
     p = sub.add_parser(
@@ -1208,6 +1388,8 @@ def main(argv=None) -> int:
         return _cmd_recover(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "bench":

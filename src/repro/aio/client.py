@@ -80,6 +80,9 @@ class AsyncMapClient:
         self._write_lock = asyncio.Lock()
         self._closed = False
         self._reader_task: Optional[asyncio.Task] = None
+        #: Capabilities the server advertised on the upgrade ack
+        #: (``{"tc": true}`` = it reads trace-context frame trailers).
+        self.features: Dict[str, Any] = {}
 
     @classmethod
     async def connect(
@@ -101,19 +104,37 @@ class AsyncMapClient:
                 f"server at {address} refused the v2 upgrade: {ack!r}"
             )
         client = cls(reader, writer)
+        features = ack.get("features")
+        if isinstance(features, dict):
+            client.features = features
         client._reader_task = asyncio.get_running_loop().create_task(
             client._read_loop()
         )
         return client
 
-    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request frame; resolves when its response arrives."""
+    async def request(
+        self, payload: Dict[str, Any], tc: Optional[Any] = None
+    ) -> Dict[str, Any]:
+        """Send one request frame; resolves when its response arrives.
+
+        ``tc`` is an optional :class:`repro.obs.dtrace.TraceContext` to
+        propagate. Against a server that advertised ``features.tc`` it
+        rides the flags-gated binary trailer; otherwise it degrades to
+        the ``"tc"`` JSON field, which every tracing-aware server also
+        reads and older servers ignore.
+        """
         if self._closed:
             raise ConnectionError("client is closed")
         request_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        frame = encode_frame(request_id, payload)
+        trailer = None
+        if tc is not None:
+            if self.features.get("tc"):
+                trailer = tc.to_trailer()
+            else:
+                payload = dict(payload, tc=tc.to_wire())
+        frame = encode_frame(request_id, payload, trace_trailer=trailer)
         async with self._write_lock:
             self._writer.write(frame)
             await self._writer.drain()

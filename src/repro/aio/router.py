@@ -15,6 +15,8 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from repro.aio.server import AsyncMapServer
+from repro.obs import dtrace
+from repro.obs.trace import TRACER
 from repro.shard.router import RouterCore
 
 
@@ -22,8 +24,11 @@ class RouterBackend:
     """Adapts :class:`RouterCore` to the async server's backend slot.
 
     Routed requests have no LSN to defer (durability lives in the shard
-    workers), so ``dispatch`` always returns ``(result, None)`` and the
-    async server never engages its group committer (``store`` is None).
+    workers), so ``dispatch`` always returns ``(result, None, extras)``
+    and the async server never engages its group committer (``store`` is
+    None). ``extras`` carries the trace attachment (ids and, for sampled
+    requests, the stitched span tree reference) when tracing is armed --
+    the same ``"tc"`` envelope field the threaded router serves.
     """
 
     store = None
@@ -35,9 +40,12 @@ class RouterBackend:
     def open_conn(self, conn_id: int) -> None:
         return None
 
-    def dispatch(self, raw: Dict[str, Any], state: Any) -> Tuple[Any, None]:
+    def dispatch(
+        self, raw: Dict[str, Any], state: Any
+    ) -> Tuple[Any, None, Optional[Dict[str, Any]]]:
         core = self.core
         op = str(raw.get("op"))
+        traced = TRACER.enabled
         try:
             if op == "reload":
                 # reload *is* the drainer; entering the gate would
@@ -47,18 +55,29 @@ class RouterBackend:
             else:
                 core._enter_gate()
                 try:
-                    result = core.dispatch(raw)
+                    result = core.dispatch_traced(raw)
                 finally:
                     core._exit_gate()
-        except Exception:
+        except Exception as exc:
             core.registry.counter(
                 "repro_router_requests_total", op=op, status="error"
             ).inc()
+            if traced:
+                # The error envelope is built on the event-loop thread;
+                # carry the attachment across on the exception itself.
+                attachment = dtrace.take_outbound()
+                if attachment is not None:
+                    exc.trace_attachment = attachment
             raise
         core.registry.counter(
             "repro_router_requests_total", op=op, status="ok"
         ).inc()
-        return result, None
+        extras: Optional[Dict[str, Any]] = None
+        if traced:
+            attachment = dtrace.take_outbound()
+            if attachment is not None:
+                extras = {"tc": attachment}
+        return result, None, extras
 
     def close(self) -> None:
         self.core.close_clients()

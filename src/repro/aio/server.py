@@ -58,7 +58,12 @@ from repro.aio.frames import (
     PROTOCOL_VERSION_2,
     decode_header,
     encode_frame,
+    split_trace_trailer,
 )
+from repro.obs import dtrace
+from repro.obs.clock import clock_info
+from repro.obs.profile import PROFILER
+from repro.obs.trace import TRACER
 from repro.service.api import Delete, Insert, parse_request
 from repro.service.server import (
     _COMPACT,
@@ -75,9 +80,12 @@ class EngineBackend:
 
     ``dispatch`` runs on an executor thread (the engine's latch already
     makes that safe -- it is exactly what the threaded server's handler
-    threads do) and returns ``(result, lsn)``: ``lsn`` is set only for
-    durable mutations, whose ack the server defers to the group
-    committer.
+    threads do) and returns ``(result, lsn, extras)``: ``lsn`` is set
+    only for durable mutations, whose ack the server defers to the group
+    committer; ``extras`` is ``None`` or envelope-level additions (the
+    ``"tc"`` trace attachment). A request runs start-to-finish on one
+    executor thread, which is what makes the thread-local trace-context
+    handoff (:mod:`repro.obs.dtrace`) sound here too.
     """
 
     def __init__(self, engine) -> None:
@@ -88,15 +96,51 @@ class EngineBackend:
     def open_conn(self, conn_id: int):
         return self.engine.session(f"aconn-{conn_id}")
 
-    def dispatch(self, raw: Dict[str, Any], session) -> Tuple[Any, Optional[int]]:
+    def dispatch(
+        self, raw: Dict[str, Any], session
+    ) -> Tuple[Any, Optional[int], Optional[Dict[str, Any]]]:
         op = raw.get("op")
         if op == "ping":
-            return "pong", None
-        request = parse_request(raw)
-        if self.engine.durable and isinstance(request, (Insert, Delete)):
-            result, lsn = self.engine.execute_deferred(request, session=session)
-            return shape_result(op, result), lsn
-        return shape_result(op, self.engine.execute(request, session=session)), None
+            return "pong", None, None
+        if op == "clock":
+            return clock_info(), None, None
+        if op == "profile":
+            return (
+                PROFILER.run(
+                    seconds=raw.get("seconds", 1.0), hz=raw.get("hz", 97)
+                ),
+                None,
+                None,
+            )
+        traced = False
+        if TRACER.enabled:
+            traced = True
+            tc_raw = raw.get("tc")
+            dtrace.set_incoming(
+                None if tc_raw is None else dtrace.TraceContext.from_wire(tc_raw)
+            )
+        try:
+            request = parse_request(raw)
+            if self.engine.durable and isinstance(request, (Insert, Delete)):
+                result, lsn = self.engine.execute_deferred(
+                    request, session=session
+                )
+            else:
+                result, lsn = self.engine.execute(request, session=session), None
+        except Exception as exc:
+            if traced:
+                attachment = dtrace.take_outbound()
+                if attachment is not None:
+                    # Ride the exception: _run builds the error envelope
+                    # on the loop thread, where the slot is unreachable.
+                    exc.trace_attachment = attachment
+            raise
+        extras = None
+        if traced:
+            attachment = dtrace.take_outbound()
+            if attachment is not None:
+                extras = {"tc": attachment}
+        return shape_result(op, result), lsn, extras
 
     def close(self) -> None:
         pass
@@ -143,12 +187,12 @@ class _WireReader:
                 return ("eof", None)
 
     async def read_frame(self) -> Tuple[str, Any]:
-        """``("frame", (request_id, payload))``, ``("oversized",
+        """``("frame", (flags, request_id, body))``, ``("oversized",
         request_id)``, or ``("eof", None)`` on a torn frame."""
         while len(self._buf) < HEADER_BYTES:
             if not await self._fill():
                 return ("eof", None)
-        _flags, length, request_id = decode_header(bytes(self._buf[:HEADER_BYTES]))
+        flags, length, request_id = decode_header(bytes(self._buf[:HEADER_BYTES]))
         if length > self.max_frame:
             del self._buf[:HEADER_BYTES]
             need = length
@@ -165,7 +209,7 @@ class _WireReader:
                 return ("eof", None)  # torn frame: nothing to answer
         body = bytes(self._buf[HEADER_BYTES:total])
         del self._buf[:total]
-        return ("frame", (request_id, body))
+        return ("frame", (flags, request_id, body))
 
 
 class _Req:
@@ -442,8 +486,8 @@ class AsyncMapServer:
             if conn.mode == 1:
                 self._on_v1_line(conn, value)
             else:
-                request_id, body = value
-                self._on_v2_frame(conn, request_id, body)
+                flags, request_id, body = value
+                self._on_v2_frame(conn, flags, request_id, body)
 
     def _on_v1_line(self, conn: _Conn, line: bytes) -> None:
         echo_v: Optional[int] = None
@@ -478,14 +522,23 @@ class AsyncMapServer:
             conn, _Req(raw, 1, 0, echo_v, self._loop.time())
         )
 
-    def _on_v2_frame(self, conn: _Conn, request_id: int, body: bytes) -> None:
+    def _on_v2_frame(
+        self, conn: _Conn, flags: int, request_id: int, body: bytes
+    ) -> None:
         try:
+            body, trailer = split_trace_trailer(flags, body)
             raw = json.loads(body)
             if not isinstance(raw, dict):
                 raise ProtocolError(
                     f"frame payload must be a JSON object, got "
                     f"{type(raw).__name__}"
                 )
+            if trailer is not None:
+                ctx = dtrace.TraceContext.from_trailer(trailer)
+                if ctx is not None:
+                    # Normalize to the v1 JSON form: downstream (the
+                    # backend dispatch) handles both wires identically.
+                    raw["tc"] = ctx.to_wire()
         except Exception as exc:
             self._respond_immediate(
                 conn, {"ok": False, "error": error_envelope(exc)}, 2, request_id
@@ -566,19 +619,28 @@ class AsyncMapServer:
                 envelope: Dict[str, Any] = {"ok": False}
             else:
                 try:
-                    result, lsn = await self._loop.run_in_executor(
+                    result, lsn, extras = await self._loop.run_in_executor(
                         self._executor, self.backend.dispatch, req.raw, conn.state
                     )
                     if lsn is not None and self.committer is not None:
                         await self.committer.wait_durable(lsn)
                     envelope = {"ok": True, "result": result}
+                    if extras:
+                        envelope.update(extras)
                 except Exception as exc:  # structured error, never a drop
                     envelope = {"ok": False, "error": error_envelope(exc)}
                     partial = getattr(exc, "partial", None)
                     if partial is not None:
                         envelope["partial"] = partial
+                    attachment = getattr(exc, "trace_attachment", None)
+                    if attachment is not None:
+                        envelope["tc"] = attachment
             if req.echo_v is not None:
                 envelope["v"] = req.echo_v
+                if req.echo_v == PROTOCOL_VERSION_2 and req.wire == 1:
+                    # The upgrade ack advertises optional capabilities;
+                    # clients that predate them ignore the extra key.
+                    envelope["features"] = {"tc": True}
             self._send(conn, req, envelope)
         finally:
             self._sem.release()

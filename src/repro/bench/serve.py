@@ -70,6 +70,23 @@ def run_serve_bench(
         requests=requests,
         seed=int(p["seed"]),
     )
+    # The tracing tax, measured: the same threaded workload with
+    # distributed sampling armed at 1.0 (every request records, stitches,
+    # and ships its span tree). Recorded and warned on drift, not gated.
+    from repro.obs.trace import TRACER
+
+    TRACER.arm(1.0)
+    try:
+        sampled = bench_serve(
+            county=str(p["county"]),
+            scale=float(p["scale"]),
+            structure=str(p["structure"]),
+            threads=threads,
+            requests=requests,
+            seed=int(p["seed"]),
+        )
+    finally:
+        TRACER.disarm()
     with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
         awaited = bench_serve_async(
             county=str(p["county"]),
@@ -83,11 +100,22 @@ def run_serve_bench(
             mutate_frac=float(p["mutate_frac"]),
         )
     lat_t, lat_a = threaded.latency_ms, awaited.latency_ms
+    p50_off = lat_t["p50"]
+    p50_on = sampled.latency_ms["p50"]
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": SERVE_BENCH_KIND,
         "git_sha": git_sha(),
         "params": p,
+        "trace_overhead": {
+            "p50_off_ms": p50_off,
+            "p50_sampled_ms": p50_on,
+            "delta_pct": round(
+                (p50_on - p50_off) / p50_off * 100.0, 1
+            )
+            if p50_off > 0
+            else 0.0,
+        },
         "modes": {
             "threaded": {
                 "connections": threaded.threads,
@@ -195,6 +223,11 @@ def serve_wall_points(record: Dict[str, object]):
         wall = modes[mode]["wall"]  # type: ignore[index]
         yield f"{mode}/p50_ms", float(wall["p50_ms"])
         yield f"{mode}/p99_ms", float(wall["p99_ms"])
+    # Additive point: absent from pre-tracing baselines, so the compare
+    # loop (which only warns when both sides carry a point) skips it.
+    overhead = record.get("trace_overhead") or {}
+    if isinstance(overhead, dict) and "p50_sampled_ms" in overhead:
+        yield "threaded/p50_sampled_ms", float(overhead["p50_sampled_ms"])
     gc = modes["async"].get("group_commit") or {}  # type: ignore[index]
     if gc.get("mutations"):
         yield "async/fsyncs_per_mutation", float(gc["fsyncs_per_mutation"])

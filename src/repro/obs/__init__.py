@@ -16,6 +16,16 @@ the aggregates cannot: **what is slow, and why, per query**.
 * :mod:`repro.obs.prom` -- Prometheus text exposition rendering and a
   small parser used by the tests and the CI smoke job to prove the
   output is valid.
+* :mod:`repro.obs.dtrace` -- distributed trace context (trace id, span
+  id, sampled flag) carried across process boundaries on both wire
+  protocols, plus the thread-local server <-> engine handoff slots.
+* :mod:`repro.obs.clock` -- the per-process monotonic clock anchor all
+  span timestamps use, and the wall-clock offset exchanged at connect
+  time so the router can order cross-process spans despite skew.
+* :mod:`repro.obs.profile` -- :class:`SamplingProfiler`: a stdlib-only
+  thread-stack sampler that attributes samples to the op executing on
+  each thread and exports collapsed (flamegraph) stacks; the router
+  merges per-shard profiles into one.
 
 Wire-up: :meth:`repro.service.engine.QueryEngine.execute` opens one
 trace and one histogram observation per request (every op -- point,
@@ -27,6 +37,8 @@ prom|json``.
 """
 
 from repro.obs.buildinfo import git_sha, publish_build_info
+from repro.obs.clock import clock_info, now_us, wall_now_us
+from repro.obs.dtrace import TraceContext
 from repro.obs.explain import ExplainProfile, format_explain, merge_attributed
 from repro.obs.health import compute_health, publish_health
 from repro.obs.metrics import (
@@ -37,6 +49,7 @@ from repro.obs.metrics import (
     SlowQueryLog,
     get_registry,
 )
+from repro.obs.profile import PROFILER, SamplingProfiler, collapsed_text, merge_profiles
 from repro.obs.prom import parse_prom_text, render_prom
 from repro.obs.trace import TRACER, Tracer, trace_event, trace_span
 
@@ -46,9 +59,17 @@ __all__ = [
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "PROFILER",
+    "SamplingProfiler",
     "SlowQueryLog",
     "TRACER",
+    "TraceContext",
     "Tracer",
+    "clock_info",
+    "collapsed_text",
+    "merge_profiles",
+    "now_us",
+    "wall_now_us",
     "compute_health",
     "format_explain",
     "get_registry",

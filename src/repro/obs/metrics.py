@@ -22,11 +22,11 @@ own :class:`MetricsRegistry` or call :meth:`MetricsRegistry.reset`.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.metric_names import COUNTER_FIELDS
+from repro.obs.clock import wall_now_us
 from repro.sanitize import make_lock
 
 #: The MetricsCounters field names, re-exported so metrics consumers can
@@ -235,7 +235,10 @@ class SlowQueryLog:
             "op": op,
             "ms": round(ms, 3),
             "attrs": attrs,
-            "unix_time": time.time(),
+            # Anchored wall clock (monotonic offset from one wall reading
+            # at import): a wall step cannot reorder or time-travel the
+            # log the way raw time.time() could.
+            "unix_time": wall_now_us() / 1e6,
         }
         with self._lock:
             self._entries.append(entry)
@@ -248,12 +251,15 @@ class SlowQueryLog:
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            buffered = len(self._entries)
+            entries = list(self._entries)
         return {
             "threshold_ms": self.threshold_ms,
             "capacity": self.capacity,
             "recorded": self.recorded,
-            "buffered": buffered,
+            "buffered": len(entries),
+            # The log lines themselves ride along (bounded by capacity);
+            # the shard router annotates each with its originating shard.
+            "entries": entries,
         }
 
 

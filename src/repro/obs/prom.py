@@ -33,6 +33,8 @@ HELP_TEXT = {
     "repro_slow_queries_total": "Queries that breached the slow-query threshold.",
     "repro_traces_total": "Traces captured by the tracer.",
     "repro_trace_dropped_total": "Finished traces evicted from the tracer's ring buffer.",
+    "repro_trace_tail_discarded_total": "Trace skeletons discarded by the tail-sampling policy (fast, clean, unsampled).",
+    "repro_trace_buffered": "Finished traces currently held in the tracer's ring buffer.",
     "repro_op_latency_seconds": "End-to-end latency of QueryEngine.execute, by op.",
     "repro_build_info": "Constant 1; build metadata in the labels (version, git_sha, page_size, grid_bits).",
     "repro_index_height": "Height of the served index (levels, root included).",

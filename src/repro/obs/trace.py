@@ -30,10 +30,11 @@ layer emits into -- the same singleton pattern as the process-wide
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from typing import Any, Dict, List, Optional
 
+from repro.obs import dtrace
+from repro.obs.clock import now_us, wall_now_us
 from repro.sanitize import make_lock
 
 
@@ -57,6 +58,17 @@ class _SpanHandle:
         """Mark the span failed (no-op on the disabled handle)."""
         if self._record is not None:
             self._record["error"] = message
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span (no-op on the disabled handle)."""
+        if self._record is not None:
+            self._record.setdefault("attrs", {})[key] = value
+
+    @property
+    def recording(self) -> bool:
+        """Is this a live span (vs the shared no-op handle)? Callers use
+        this to skip building expensive attribute values."""
+        return self._record is not None
 
 
 #: The shared do-nothing handle served when tracing is off or no trace is
@@ -87,8 +99,19 @@ class Tracer:
         self.enabled = False
         self.capacity = capacity
         self.max_events = max_events
+        #: Head-sampling rate. ``None`` (the default) is the legacy
+        #: single-process mode: every trace is recorded in full and
+        #: published. A float arms distributed mode: roots get
+        #: trace/span ids, unsampled requests record only the root
+        #: skeleton, and :meth:`finish_trace` applies the tail policy.
+        self.sample_rate: Optional[float] = None
+        #: Tail-retention latency threshold (microseconds): a trace at
+        #: least this slow is kept even when the head decision said no.
+        self.slow_us: Optional[float] = None
         self.started = 0
         self.finished = 0
+        #: Skeletons dropped by the tail policy (fast, ok, unsampled).
+        self.tail_discarded = 0
         #: Finished traces pushed out of the ring by newer ones: the
         #: observer's own saturation, mirrored into the registry as
         #: ``repro_trace_dropped_total`` at export time.
@@ -122,8 +145,37 @@ class Tracer:
             self.max_events = max_events
         self.enabled = True  # repro-lint: disable=CC03 -- benign single-writer flag: hooks read it lock-free by design (constraint 1); a stale read means one skipped trace, never corruption
 
+    def arm(
+        self,
+        sample_rate: float,
+        slow_ms: Optional[float] = None,
+        capacity: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Enable distributed tail-based sampling (``--trace-sample``).
+
+        Every request then gets the always-on skeleton (root span with
+        ids and monotonic timing); full detail is recorded when the head
+        decision (rate, or the inherited wire flag) says so, and
+        retention at completion additionally keeps errored and -- when
+        ``slow_ms`` is set -- slow skeletons.
+        """
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        self.sample_rate = sample_rate  # repro-lint: disable=CC03 -- benign single-writer config, same contract as `enabled`: set before serving starts; request threads read it lock-free and a stale read only shifts one request's sampling verdict
+        self.slow_us = None if slow_ms is None else slow_ms * 1000.0  # repro-lint: disable=CC03 -- benign single-writer config: see sample_rate above
+        self.enable(capacity=capacity, max_events=max_events)
+
     def disable(self) -> None:
         self.enabled = False  # repro-lint: disable=CC03 -- benign single-writer flag: see enable(); readers tolerate staleness
+
+    def disarm(self) -> None:
+        """Back to the legacy mode (and off): tests and teardown."""
+        self.sample_rate = None  # repro-lint: disable=CC03 -- benign single-writer config: teardown path, see arm()
+        self.slow_us = None  # repro-lint: disable=CC03 -- benign single-writer config: teardown path, see arm()
+        self.disable()
 
     def clear(self) -> None:
         """Drop every finished trace (the stats counters are kept)."""
@@ -149,8 +201,26 @@ class Tracer:
             "spans": [],
             "events": 0,
             "dropped": 0,
-            "_t0": time.perf_counter(),
+            "_t0": now_us(),
         }
+        # Distributed identity: honour a context the server parked for
+        # this thread; otherwise mint one when sampling is armed. The
+        # legacy mode (sample_rate None, nothing parked) adds no keys,
+        # so single-process traces look exactly as they always did.
+        ctx = dtrace.take_incoming()
+        if ctx is not None:
+            root["trace_id"] = ctx.trace_id
+            root["parent_id"] = ctx.span_id
+            root["span_id"] = dtrace.new_span_id()
+            root["sampled"] = ctx.sampled
+            root["wall_us"] = wall_now_us()
+            root["_remote"] = True
+        elif self.sample_rate is not None:
+            fresh = dtrace.TraceContext.new_root(self.sample_rate)
+            root["trace_id"] = fresh.trace_id
+            root["span_id"] = fresh.span_id
+            root["sampled"] = fresh.sampled
+            root["wall_us"] = wall_now_us()
         self._local.stack = [root]
         with self._ring_lock:  # exact under concurrency, like finished/evicted
             self.started += 1
@@ -165,25 +235,73 @@ class Tracer:
         """
         return bool(getattr(self._local, "stack", None))
 
+    def current_root(self) -> Optional[Dict[str, Any]]:
+        """The root record of the trace open on this thread, or None.
+
+        The router reads the root's distributed identity off this to
+        mint child contexts for its fan-out without threading the record
+        through every call signature.
+        """
+        stack = getattr(self._local, "stack", None)
+        return stack[0] if stack else None
+
     def finish_trace(
         self, root: Dict[str, Any], error: Optional[str] = None
     ) -> Dict[str, Any]:
-        """Close the root span and publish the trace to the ring."""
-        root["dur_us"] = (time.perf_counter() - root.pop("_t0")) * 1e6
+        """Close the root span and apply the tail-retention policy.
+
+        Legacy roots (no ``sampled`` key) always publish. Distributed
+        roots publish when head-sampled, errored, or -- with a
+        ``slow_us`` threshold armed -- slow; fast clean unsampled
+        skeletons are counted in ``tail_discarded`` and dropped. Either
+        way the response attachment (ids, plus the local span subtree
+        for sampled remote requests) is parked for the server layer.
+        """
+        root["dur_us"] = now_us() - root.pop("_t0")
         if error is not None:
             root["error"] = error
         self._local.stack = None
-        with self._ring_lock:
-            if len(self._ring) == self.capacity:
-                self.evicted += 1  # the append below displaces the oldest
-            self._ring.append(root)
-            self.finished += 1
+        remote = root.pop("_remote", False)
+        sampled = root.get("sampled")
+        if sampled is None:  # legacy single-process mode
+            self.publish(root)
+            return root
+        keep = sampled or error is not None
+        if (
+            not keep
+            and self.slow_us is not None
+            and root["dur_us"] >= self.slow_us
+        ):
+            keep = True
+            root["retained"] = "slow"
+        if keep:
+            self.publish(root)
+        else:
+            with self._ring_lock:
+                self.finished += 1
+                self.tail_discarded += 1
+        attachment: Dict[str, Any] = {
+            "t": root["trace_id"],
+            "s": root["span_id"],
+            "f": dtrace.FLAG_SAMPLED if sampled else 0,
+        }
+        if remote and sampled:
+            attachment["span"] = root
+        dtrace.set_outbound(attachment)
         return root
 
     def abort_trace(self, root: Dict[str, Any]) -> None:
         """Drop an open trace without publishing it (engine teardown)."""
         root.pop("_t0", None)
         self._local.stack = None
+
+    def publish(self, root: Dict[str, Any]) -> None:
+        """Append a finished trace to the ring (bounded, oldest evicted)."""
+        with self._ring_lock:
+            if len(self._ring) == self.capacity:
+                self.evicted += 1  # the append below displaces the oldest
+            self._ring.append(root)
+            self.finished += 1
 
     # ------------------------------------------------------------------
     # Spans and events (called from any layer, any thread)
@@ -200,17 +318,20 @@ class Tracer:
         if not stack:
             return _NOOP
         root = stack[0]
+        if not root.get("sampled", True):
+            return _NOOP  # unsampled skeleton: keep the root only
         root["events"] += 1
         if root["events"] > self.max_events:
             root["dropped"] += 1
             return _NOOP
         parent = stack[-1]
+        t0 = now_us()
         record: Dict[str, Any] = {
             "name": name,
-            "start_us": (time.perf_counter() - root["_t0"]) * 1e6,
-            "dur_us": 0.0,
+            "start_us": t0 - root["_t0"],
+            "dur_us": 0,
             "spans": [],
-            "_t0": time.perf_counter(),
+            "_t0": t0,
         }
         if attrs:
             record["attrs"] = attrs
@@ -219,7 +340,7 @@ class Tracer:
         return _SpanHandle(self, record)
 
     def _close_span(self, record: Dict[str, Any]) -> None:
-        record["dur_us"] = (time.perf_counter() - record.pop("_t0")) * 1e6
+        record["dur_us"] = now_us() - record.pop("_t0")
         stack = getattr(self._local, "stack", None)
         if stack and stack[-1] is record:
             stack.pop()
@@ -232,16 +353,39 @@ class Tracer:
         if not stack:
             return
         root = stack[0]
+        if not root.get("sampled", True):
+            return  # unsampled skeleton: keep the root only
         root["events"] += 1
         if root["events"] > self.max_events:
             root["dropped"] += 1
             return
         record: Dict[str, Any] = {
             "name": name,
-            "start_us": (time.perf_counter() - root["_t0"]) * 1e6,
+            "start_us": now_us() - root["_t0"],
         }
         if attrs:
             record["attrs"] = attrs
+        stack[-1]["spans"].append(record)
+
+    def attach_subtree(self, record: Dict[str, Any]) -> None:
+        """Graft an already-built span record under the open span.
+
+        The router uses this to stitch a worker's returned subtree (or
+        its own synthesized ``shard:<id>`` wrapper) into the active
+        trace. Counts against ``max_events`` like any other child.
+        """
+        if not self.enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return
+        root = stack[0]
+        if not root.get("sampled", True):
+            return
+        root["events"] += 1
+        if root["events"] > self.max_events:
+            root["dropped"] += 1
+            return
         stack[-1]["spans"].append(record)
 
     # ------------------------------------------------------------------
@@ -281,6 +425,24 @@ class Tracer:
             traces = traces[-n:]
         return traces
 
+    def find(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The buffered trace with this id, newest first.
+
+        When a process holds several records under one id (the in-process
+        shard harness shares this tracer between router and workers), the
+        parentless root -- the stitched tree -- wins.
+        """
+        with self._ring_lock:
+            candidates = [
+                rec
+                for rec in self._ring
+                if rec.get("trace_id") == trace_id
+            ]
+        for rec in reversed(candidates):
+            if rec.get("parent_id") is None:
+                return rec
+        return candidates[-1] if candidates else None
+
     def stats(self) -> Dict[str, Any]:
         with self._ring_lock:
             buffered = len(self._ring)
@@ -292,6 +454,8 @@ class Tracer:
             "started": self.started,
             "finished": self.finished,
             "evicted": self.evicted,
+            "sample_rate": self.sample_rate,
+            "tail_discarded": self.tail_discarded,
         }
 
 
@@ -307,3 +471,38 @@ def trace_span(name: str, **attrs: Any) -> _SpanHandle:
 def trace_event(name: str, **attrs: Any) -> None:
     """Module-level shorthand for ``TRACER.event(...)``."""
     TRACER.event(name, **attrs)
+
+
+def format_trace_tree(record: Dict[str, Any]) -> str:
+    """Render one span tree as indented text, one line per span/event.
+
+    Used by ``stats --format traces``: offsets and durations are the
+    tracer's microseconds, so a stitched cross-process tree reads on one
+    time axis.
+    """
+    import json
+
+    lines: List[str] = []
+
+    def walk(rec: Dict[str, Any], depth: int) -> None:
+        head = "  " * depth + str(rec.get("name", "?"))
+        head += f"  +{rec.get('start_us', 0):.0f}us"
+        if "dur_us" in rec:
+            head += f" ({rec['dur_us']:.0f}us)"
+        attrs = rec.get("attrs")
+        if attrs:
+            rendered = " ".join(
+                f"{key}={json.dumps(value, sort_keys=True, separators=(',', ':'))}"
+                if isinstance(value, (dict, list))
+                else f"{key}={value}"
+                for key, value in sorted(attrs.items())
+            )
+            head += "  " + rendered
+        if rec.get("error"):
+            head += f"  ERROR: {rec['error']}"
+        lines.append(head)
+        for child in rec.get("spans", ()):
+            walk(child, depth + 1)
+
+    walk(record, 0)
+    return "\n".join(lines)

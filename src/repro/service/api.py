@@ -299,20 +299,33 @@ class Check:
 
 @dataclass(frozen=True, slots=True)
 class Trace:
-    """Read back the last ``n`` traces from the ring buffer."""
+    """Read back the last ``n`` traces -- or one trace by id.
+
+    With ``trace_id`` set the response is ``{"trace": <tree or null>}``:
+    the distributed-trace lookup (the router answers it from its ring of
+    stitched cross-process trees).
+    """
 
     OP: ClassVar[str] = "trace"
 
     n: Optional[int] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n is not None and (
             isinstance(self.n, bool) or not isinstance(self.n, int) or self.n < 1
         ):
             raise ProtocolError("field 'n' must be a positive integer")
+        if self.trace_id is not None and not isinstance(self.trace_id, str):
+            raise ProtocolError("field 'trace_id' must be a string")
 
     def describe(self) -> Dict[str, Any]:
-        return {} if self.n is None else {"n": self.n}
+        out: Dict[str, Any] = {}
+        if self.n is not None:
+            out["n"] = self.n
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
 
 #: Ops EXPLAIN can wrap: the read queries whose traversals are profiled.
@@ -477,7 +490,7 @@ def parse_request(raw: Dict[str, Any]) -> Any:
     if op == "check":
         return Check()
     if op == "trace":
-        return Trace(n=raw.get("n"))
+        return Trace(n=raw.get("n"), trace_id=raw.get("trace_id"))
     if op == "metrics":
         return Metrics(format=raw.get("format", "json"))
     if op == "explain":

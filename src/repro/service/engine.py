@@ -57,6 +57,7 @@ from repro.obs.buildinfo import publish_build_info
 from repro.obs.explain import ExplainProfile
 from repro.obs.health import publish_health
 from repro.obs.metrics import MetricsRegistry, SlowQueryLog, get_registry
+from repro.obs.profile import PROFILER
 from repro.obs.trace import TRACER
 from repro.service.api import (
     BatchRequest,
@@ -151,6 +152,10 @@ class QueryEngine:
         self._trace_dropped_counter = self.registry.counter(
             "repro_trace_dropped_total"
         )
+        self._trace_tail_counter = self.registry.counter(
+            "repro_trace_tail_discarded_total"
+        )
+        self._trace_buffered_gauge = self.registry.gauge("repro_trace_buffered")
         publish_build_info(
             self.registry, page_size=self.ctx.page_size, grid_bits=WORLD_DEPTH
         )
@@ -221,6 +226,11 @@ class QueryEngine:
                 span.__enter__()
             else:
                 root = TRACER.start_trace(op, **request.describe())
+        if PROFILER.enabled:
+            # The profiler seam: tag this thread with the running op so
+            # stack samples split by request kind. One attribute load
+            # when idle -- same budget discipline as TRACER.enabled.
+            PROFILER.set_op(op)
         error: Optional[str] = None
         start = time.perf_counter()
         try:
@@ -229,6 +239,8 @@ class QueryEngine:
             error = f"{type(exc).__name__}: {exc}"
             raise
         finally:
+            if PROFILER.enabled:
+                PROFILER.clear_op()
             elapsed = time.perf_counter() - start
             pair = self._op_metrics.get(op)
             if pair is None:
@@ -424,6 +436,11 @@ class QueryEngine:
         if isinstance(request, Check):
             return self.check()
         if isinstance(request, Trace):
+            if request.trace_id is not None:
+                return {
+                    "tracing": TRACER.stats(),
+                    "trace": TRACER.find(request.trace_id),
+                }
             return {"tracing": TRACER.stats(), "traces": TRACER.recent(request.n)}
         if isinstance(request, Metrics):
             self.sync_mirrored_counters()
@@ -491,9 +508,14 @@ class QueryEngine:
         # returns above having allocated nothing but the cache key.
         _, thunk = self._read_thunk(request)
         if TRACER.enabled:
-            with TRACER.span("traverse"):
-                with self._attributed(session):
+            with TRACER.span("traverse") as sp:
+                with self._attributed(session) as scratch:
                     value = thunk()
+                if sp.recording:
+                    # Span cost attribution: the exact scratch deltas
+                    # this traversal was charged -- what the router's
+                    # stitched tree compares against engine counters.
+                    sp.set_attr("counters", scratch.as_dict())
         else:
             with self._attributed(session):
                 value = thunk()
@@ -764,7 +786,10 @@ class QueryEngine:
         """
         self._cache_hit_counter.advance_to(self.cache.hits)
         self._cache_miss_counter.advance_to(self.cache.misses)
-        self._trace_dropped_counter.advance_to(TRACER.evicted)
+        tracing = TRACER.stats()
+        self._trace_dropped_counter.advance_to(tracing["evicted"])
+        self._trace_tail_counter.advance_to(tracing["tail_discarded"])
+        self._trace_buffered_gauge.set(tracing["buffered"])
 
     def stats(self) -> dict:
         """A full observability snapshot for the server's stats op."""

@@ -60,6 +60,10 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import FrameTooLargeError, ProtocolError
 from repro.metric_names import DISK_ACCESSES
+from repro.obs import dtrace
+from repro.obs.clock import clock_info
+from repro.obs.profile import PROFILER
+from repro.obs.trace import TRACER
 from repro.service.api import parse_request, request_version
 from repro.service.engine import QueryEngine
 
@@ -275,6 +279,7 @@ class MapServer(socketserver.ThreadingTCPServer):
     def respond(self, line: Any, session) -> Dict[str, Any]:
         """One wire request -> one envelope; never raises."""
         version: Optional[int] = None
+        traced = False
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
@@ -284,12 +289,28 @@ class MapServer(socketserver.ThreadingTCPServer):
                 )
             if request.get("v") is not None:
                 version = request_version(request)
+            if TRACER.enabled:
+                # Park the wire trace context (or clear a stale one left
+                # by an aborted request on this handler thread) for the
+                # tracer to consume at start_trace. Disabled tracing pays
+                # exactly the one attribute check above.
+                traced = True
+                tc_raw = request.get("tc")
+                dtrace.set_incoming(
+                    None
+                    if tc_raw is None
+                    else dtrace.TraceContext.from_wire(tc_raw)
+                )
             response: Dict[str, Any] = {
                 "ok": True,
                 "result": self.dispatch(request, session),
             }
         except Exception as exc:  # serve errors back, keep the connection
             response = {"ok": False, "error": error_envelope(exc)}
+        if traced:
+            attachment = dtrace.take_outbound()
+            if attachment is not None:
+                response["tc"] = attachment
         if version is not None:
             response["v"] = version
         return response
@@ -298,6 +319,13 @@ class MapServer(socketserver.ThreadingTCPServer):
         op = request.get("op")
         if op == "ping":
             return "pong"
+        if op == "clock":
+            return clock_info()
+        if op == "profile":
+            return PROFILER.run(
+                seconds=request.get("seconds", 1.0),
+                hz=request.get("hz", 97),
+            )
         result = self.engine.execute(parse_request(request), session=session)
         return shape_result(op, result)
 

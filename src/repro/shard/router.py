@@ -57,9 +57,13 @@ from repro.metric_names import (
     DISK_ACCESSES,
     DISK_READS,
 )
+from repro.obs import dtrace
+from repro.obs.clock import clock_info, now_us, wall_now_us
 from repro.obs.explain import merge_explain_reports
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PROFILER, merge_profiles
 from repro.obs.prom import merge_prom_texts
+from repro.obs.trace import TRACER
 from repro.sanitize import make_condition, make_lock
 from repro.service.api import (
     BatchRequest,
@@ -120,6 +124,11 @@ class ShardClient:
         self._lock = make_lock(f"shard.client.{shard_id}")
         self._sock: Optional[socket.socket] = None
         self._fh = None
+        #: Estimated worker-minus-router wall-clock offset (microseconds),
+        #: measured by a clock round trip at connect time when tracing is
+        #: on. None until measured (or when the worker predates the op);
+        #: the stitcher then anchors subtrees at send time instead.
+        self.skew_us: Optional[int] = None
 
     def _unavailable(self, why: str) -> ShardUnavailableError:
         return ShardUnavailableError(
@@ -141,6 +150,26 @@ class ShardClient:
             self._sock = None
             self._fh = None
             raise self._unavailable(f"connect to {host}:{port} failed ({exc})") from exc
+        if TRACER.enabled:
+            self._measure_skew()
+
+    def _measure_skew(self) -> None:
+        """One clock round trip, midpointed: the worker's wall offset.
+
+        Best effort by design -- a worker that predates the ``clock`` op
+        answers ``unknown_op`` and the skew stays None, which only costs
+        stitching fidelity, never a request.
+        """
+        try:
+            t0 = wall_now_us()
+            reply = self._roundtrip(b'{"op":"clock"}\n')
+            t1 = wall_now_us()
+            envelope = json.loads(reply)
+            if envelope.get("ok"):
+                remote_wall = int(envelope["result"]["wall_us"])
+                self.skew_us = remote_wall - (t0 + t1) // 2
+        except (OSError, ValueError, KeyError, TypeError):
+            self.skew_us = None
 
     def _drop(self) -> None:
         if self._fh is not None:
@@ -161,7 +190,9 @@ class ShardClient:
         self._fh.flush()
         return self._fh.readline()  # repro-lint: disable=CC02 -- socket read under the connection-serializing lock: that is the lock's whole job; bounded by the socket timeout, never nests another lock
 
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def request(
+        self, payload: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
         """Send one request, returning the shard's response envelope.
 
         A pooled connection that errors or EOFs is retried once over a
@@ -171,12 +202,18 @@ class ShardClient:
         a mutation and died before replying can double-apply -- that is
         a table divergence, which the seg_id agreement check and
         ``check --shards`` surface for ``shard-rebuild``.
+
+        ``timeout`` overrides the connection timeout for this one call
+        -- the ``profile`` op legitimately takes its sampling window to
+        answer, which the default would cut short.
         """
         line = json.dumps(payload, separators=_COMPACT).encode("utf-8") + b"\n"
         with self._lock:
             fresh = self._sock is None
             if fresh:
                 self._connect()
+            if timeout is not None:
+                self._sock.settimeout(timeout)
             reply = b""
             error: Optional[OSError] = None
             try:
@@ -193,6 +230,8 @@ class ShardClient:
                     )
                     raise self._unavailable(why) from error
                 self._connect()
+                if timeout is not None:
+                    self._sock.settimeout(timeout)
                 try:
                     reply = self._roundtrip(line)
                 except OSError as exc2:
@@ -205,6 +244,8 @@ class ShardClient:
                     raise self._unavailable(
                         "connection closed mid-request after reconnect"
                     )
+            if timeout is not None and self._sock is not None:
+                self._sock.settimeout(self.timeout)  # restore the default
             try:
                 return json.loads(reply)
             except ValueError as exc:
@@ -240,6 +281,18 @@ def merge_nearest(
                 best[seg_id] = d2
     ranked = sorted(best.items(), key=lambda item: (item[1], item[0]))
     return [(seg_id, d2) for seg_id, d2 in ranked[:k]]
+
+
+def _shift_spans(record: Dict[str, Any], offset: float) -> None:
+    """Shift a span record and all descendants onto the router timeline.
+
+    Worker span timestamps are relative to the worker root's monotonic
+    start; adding the stitcher's offset re-expresses them relative to
+    the router root, so one merged tree renders on one time axis.
+    """
+    record["start_us"] = record.get("start_us", 0) + offset
+    for child in record.get("spans", ()):
+        _shift_spans(child, offset)
 
 
 def _merge_same_value(values: List[Any], what: str) -> Any:
@@ -368,7 +421,7 @@ class RouterCore:
             else:
                 self._enter_gate()
                 try:
-                    result = self.dispatch(raw)
+                    result = self.dispatch_traced(raw)
                 finally:
                     self._exit_gate()
             response: Dict[str, Any] = {"ok": True, "result": result}
@@ -383,9 +436,40 @@ class RouterCore:
             self.registry.counter(
                 "repro_router_requests_total", op=op, status="error"
             ).inc()
+        if TRACER.enabled:
+            attachment = dtrace.take_outbound()
+            if attachment is not None:
+                response["tc"] = attachment
         if version is not None:
             response["v"] = version
         return response
+
+    def dispatch_traced(self, raw: Dict[str, Any]) -> Any:
+        """Dispatch under a router root span when tracing is armed.
+
+        Both wire fronts call this between the gate enter/exit. The
+        router consumes any client-sent ``"tc"`` context (parenting its
+        root under the caller), scatter/merge phases become child spans,
+        and ``finish_trace`` parks the response attachment for the
+        transport to collect. With tracing off this adds exactly one
+        attribute check on top of :meth:`dispatch`.
+        """
+        if not TRACER.enabled:
+            return self.dispatch(raw)
+        tc_raw = raw.get("tc")
+        dtrace.set_incoming(
+            None if tc_raw is None else dtrace.TraceContext.from_wire(tc_raw)
+        )
+        root = TRACER.start_trace(str(raw.get("op")))
+        error: Optional[str] = None
+        try:
+            return self.dispatch(raw)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            if root is not None:
+                TRACER.finish_trace(root, error=error)
 
     # ------------------------------------------------------------------
     # Scatter and gather
@@ -403,7 +487,10 @@ class RouterCore:
         Returns ``(responses, failures)``: response envelopes by shard
         id, and the transport-level failures by shard id.
         """
-        payload = {k: v for k, v in payload.items() if k != "v"}
+        payload = {k: v for k, v in payload.items() if k not in ("v", "tc")}
+        root = TRACER.current_root() if TRACER.enabled else None
+        if root is not None and "trace_id" in root:
+            return self._traced_scatter(specs, payload, root)
 
         def call(spec: ShardSpec):
             try:
@@ -421,6 +508,105 @@ class RouterCore:
             else:
                 responses[shard_id] = response
         return responses, failures
+
+    def _traced_scatter(
+        self,
+        specs: List[ShardSpec],
+        payload: Dict[str, Any],
+        root: Dict[str, Any],
+    ) -> Tuple[Dict[str, Any], Dict[str, ShardUnavailableError]]:
+        """The scatter fan-out with distributed identity aboard.
+
+        Every shard request carries a fresh child context as the v1
+        ``"tc"`` field (the pooled clients speak JSON lines), so each
+        worker roots its local trace under this router span -- sampled
+        or not, keeping the head decision consistent end to end. When
+        the router root *is* sampled, the fan-out sits under a
+        ``scatter`` span and each worker's returned subtree is grafted
+        back in as a ``shard:<id>`` child with its timestamps shifted
+        onto the router's clock via the connect-time skew estimate.
+        """
+        sampled = bool(root.get("sampled", True))
+        # Per-shard (send_us, recv_us, attachment) triples. Pool threads
+        # write distinct keys (dict ops are atomic under the GIL); the
+        # dispatching thread reads only after their futures resolve.
+        timings: Dict[str, Tuple[float, float, Optional[Dict[str, Any]]]] = {}
+
+        def call(spec: ShardSpec):
+            sid = spec.shard_id
+            child = dtrace.TraceContext(
+                root["trace_id"], dtrace.new_span_id(), sampled
+            )
+            shard_payload = dict(payload)
+            shard_payload["tc"] = child.to_wire()
+            t0 = now_us()
+            try:
+                response = self.clients[sid].request(shard_payload)
+            except ShardUnavailableError as exc:
+                timings[sid] = (t0, now_us(), None)
+                return sid, None, exc
+            attachment = (
+                response.pop("tc", None) if isinstance(response, dict) else None
+            )
+            timings[sid] = (t0, now_us(), attachment)
+            return sid, response, None
+
+        with TRACER.span("scatter", op=payload.get("op"), shards=len(specs)):
+            futures = [self._pool.submit(call, spec) for spec in specs]
+            responses: Dict[str, Any] = {}
+            failures: Dict[str, ShardUnavailableError] = {}
+            for future in futures:
+                shard_id, response, exc = future.result()
+                if exc is not None:
+                    failures[shard_id] = exc
+                else:
+                    responses[shard_id] = response
+            if sampled:
+                for spec in specs:
+                    self._stitch_shard(
+                        root, spec.shard_id, timings.get(spec.shard_id)
+                    )
+        return responses, failures
+
+    def _stitch_shard(
+        self,
+        root: Dict[str, Any],
+        shard_id: str,
+        timing: Optional[Tuple[float, float, Optional[Dict[str, Any]]]],
+    ) -> None:
+        """Graft one shard's round trip (and returned subtree) into the
+        active trace as a ``shard:<id>`` wrapper span."""
+        if timing is None:
+            return
+        t0, t1, attachment = timing
+        record: Dict[str, Any] = {
+            "name": f"shard:{shard_id}",
+            "start_us": t0 - root["_t0"],
+            "dur_us": t1 - t0,
+            "attrs": {"shard": shard_id},
+            "spans": [],
+        }
+        subtree = (
+            attachment.get("span") if isinstance(attachment, dict) else None
+        )
+        if isinstance(subtree, dict):
+            skew = self.clients[shard_id].skew_us
+            if (
+                skew is not None
+                and "wall_us" in subtree
+                and "wall_us" in root
+            ):
+                # Worker wall time, de-skewed onto the router's clock,
+                # relative to the router root's start.
+                offset = (subtree["wall_us"] - skew) - root["wall_us"]
+                record["attrs"]["skew_us"] = skew
+            else:
+                # No skew estimate: anchor the subtree at send time --
+                # its internal shape is still exact.
+                offset = record["start_us"]
+            _shift_spans(subtree, offset - subtree.get("start_us", 0))
+            record["spans"].append(subtree)
+        TRACER.attach_subtree(record)
 
     def _gather(
         self,
@@ -457,7 +643,8 @@ class RouterCore:
                     "result": merged,
                 }
             raise exc
-        return merge(oks)
+        with TRACER.span("merge", shards=len(oks)):
+            return merge(oks)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -466,6 +653,12 @@ class RouterCore:
         op = raw.get("op")
         if op == "ping":
             return "pong"
+        if op == "clock":
+            return clock_info()
+        if op == "profile":
+            return self._merge_profile(raw)
+        if op == "trace" and raw.get("trace_id") is not None:
+            return self._find_trace(raw)
         request = parse_request(raw)
         smap = self.shard_map
         if isinstance(request, PointQuery):
@@ -502,7 +695,8 @@ class RouterCore:
                 partial_merge=lambda oks: {"applied": sorted(oks)},
             )
         if isinstance(request, BatchRequest):
-            assignment = self._batch_assignment(request)
+            with TRACER.span("clip", members=len(request.requests)):
+                assignment = self._batch_assignment(request)
             if assignment is None:
                 # Mutations must reach every replicated table: the whole
                 # batch broadcasts so barrier positions agree shard-wide.
@@ -532,10 +726,20 @@ class RouterCore:
                 for sid, resp in responses.items()
                 if resp.get("ok")
             }
-            return {
+            merged: Dict[str, Any] = {
                 "shards": dict(sorted(out.items())),
                 "unavailable": sorted(failures),
             }
+            if op == "trace" and TRACER.enabled:
+                # Stitched cross-process trees live in the router's own
+                # ring; surface them next to the workers' local traces.
+                try:
+                    n = int(raw.get("n", 5))
+                except (TypeError, ValueError):
+                    n = 5
+                merged["tracing"] = TRACER.stats()
+                merged["traces"] = TRACER.recent(n)
+            return merged
         raise ProtocolError(
             f"op {op!r} is not routable through the shard router",
             code="unknown_op",
@@ -635,22 +839,46 @@ class RouterCore:
         }
         if not payloads:  # every member clipped to nothing (or empty batch)
             return self._merge_clipped(request, assignment, {})
+        root = TRACER.current_root() if TRACER.enabled else None
+        traced = root is not None and "trace_id" in root
+        sampled = traced and bool(root.get("sampled", True))
+        timings: Dict[str, Tuple[float, float, Optional[Dict[str, Any]]]] = {}
 
         def call(sid: str):
+            shard_payload = payloads[sid]
+            if traced:
+                child = dtrace.TraceContext(
+                    root["trace_id"], dtrace.new_span_id(), sampled
+                )
+                shard_payload = dict(shard_payload)
+                shard_payload["tc"] = child.to_wire()
+            t0 = now_us()
             try:
-                return sid, self.clients[sid].request(payloads[sid]), None
+                response = self.clients[sid].request(shard_payload)
             except ShardUnavailableError as exc:
+                if traced:
+                    timings[sid] = (t0, now_us(), None)
                 return sid, None, exc
+            attachment = (
+                response.pop("tc", None) if isinstance(response, dict) else None
+            )
+            if traced:
+                timings[sid] = (t0, now_us(), attachment)
+            return sid, response, None
 
-        futures = [self._pool.submit(call, sid) for sid in payloads]
         responses: Dict[str, Any] = {}
         failures: Dict[str, ShardUnavailableError] = {}
-        for future in futures:
-            sid, response, exc = future.result()
-            if exc is not None:
-                failures[sid] = exc
-            else:
-                responses[sid] = response
+        with TRACER.span("scatter", op="batch", shards=len(payloads)):
+            futures = [self._pool.submit(call, sid) for sid in payloads]
+            for future in futures:
+                sid, response, exc = future.result()
+                if exc is not None:
+                    failures[sid] = exc
+                else:
+                    responses[sid] = response
+            if sampled:
+                for sid in payloads:
+                    self._stitch_shard(root, sid, timings.get(sid))
         oks: Dict[str, Any] = {}
         relayed: Dict[str, Dict[str, Any]] = {}
         for sid, response in responses.items():
@@ -672,7 +900,8 @@ class RouterCore:
                     merged = None
                 exc_out.partial = {"shards": sorted(oks), "result": merged}
             raise exc_out
-        return self._merge_clipped(request, assignment, oks)
+        with TRACER.span("merge", shards=len(oks)):
+            return self._merge_clipped(request, assignment, oks)
 
     def _merge_clipped(
         self,
@@ -736,6 +965,11 @@ class RouterCore:
                 continue
             stats = response["result"]
             shards[shard_id] = stats
+            # Slow-query log lines served through the router name their
+            # originating shard, so a merged view stays attributable.
+            slow = stats.get("obs", {}).get("slow_queries", {})
+            for entry in slow.get("entries") or []:
+                entry["shard"] = shard_id
             for name in COUNTER_FIELDS:
                 totals[name] += stats["totals"][name]
             consistent = consistent and stats["counters_consistent"]
@@ -795,6 +1029,64 @@ class RouterCore:
             "router": self.registry.render_json(),
             "unavailable": sorted(failures),
         }
+
+    def _find_trace(self, raw: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve ``{"op": "trace", "trace_id": ...}``: the stitched tree.
+
+        Stitched cross-process trees live in the *router's* ring (the
+        workers hold only their local subtrees, already grafted in), so
+        the router answers from its own buffer first and falls back to
+        asking the shards -- a trace that was sampled on a worker but
+        whose router record was evicted is still reachable.
+        """
+        trace_id = str(raw["trace_id"])
+        local = TRACER.find(trace_id)
+        if local is not None:
+            return {"trace": local, "source": "router"}
+        responses, _failures = self._scatter(self._specs(), raw)
+        for shard_id, response in sorted(responses.items()):
+            if response.get("ok"):
+                found = (response.get("result") or {}).get("trace")
+                if found is not None:
+                    return {"trace": found, "source": shard_id}
+        return {"trace": None, "source": None}
+
+    def _merge_profile(self, raw: Dict[str, Any]) -> Dict[str, Any]:
+        """Fan the ``profile`` op out; sample the router meanwhile.
+
+        The workers each run their own sampling window concurrently
+        while the dispatching thread profiles this process (capturing
+        the router's scatter threads at work), then the collapsed stacks
+        merge re-rooted under ``router`` / ``shard:<id>`` labels -- one
+        flamegraph across the whole shard set.
+        """
+        seconds = float(raw.get("seconds", 1.0))
+        hz = raw.get("hz", 97)
+        payload = {"op": "profile", "seconds": seconds, "hz": hz}
+        # The shard call legitimately takes the whole sampling window to
+        # answer; give it the window plus the usual transport allowance.
+        deadline = seconds + max(self.timeout, 5.0)
+        futures = {
+            spec.shard_id: self._pool.submit(
+                self.clients[spec.shard_id].request, payload, deadline
+            )
+            for spec in self._specs()
+        }
+        parts: Dict[str, Any] = {"router": PROFILER.run(seconds=seconds, hz=hz)}
+        unavailable: List[str] = []
+        for shard_id, future in sorted(futures.items()):
+            try:
+                response = future.result()
+            except ShardUnavailableError:
+                unavailable.append(shard_id)
+                continue
+            if response.get("ok"):
+                parts[f"shard:{shard_id}"] = response["result"]
+            else:
+                unavailable.append(shard_id)
+        merged = merge_profiles(parts)
+        merged["unavailable"] = unavailable
+        return merged
 
 
 class ShardRouter(socketserver.ThreadingTCPServer, RouterCore):

@@ -54,7 +54,7 @@ class GateBackend:
         gate = self.gates.get(raw.get("op"))
         if gate is not None:
             assert gate.wait(10.0), "test forgot to open a gate"
-        return raw.get("op"), None
+        return raw.get("op"), None, None
 
     def close(self):
         pass
@@ -166,7 +166,14 @@ class TestNegotiation:
                 fh.write(b'{"op": "ping", "v": 2}\n')
                 fh.flush()
                 ack = json.loads(fh.readline())
-                assert ack == {"ok": True, "result": "pong", "v": 2}
+                # The ack also advertises capabilities (trace-context
+                # trailer support) for clients that care.
+                assert ack == {
+                    "ok": True,
+                    "result": "pong",
+                    "v": 2,
+                    "features": {"tc": True},
+                }
                 # Every byte after the ack is v2 frames, both directions.
                 fh.write(encode_frame(7, {"op": "point", "x": 100, "y": 100}))
                 fh.flush()

@@ -1,0 +1,563 @@
+"""Distributed tracing, clock anchoring, and the sampling profiler.
+
+Covers the cross-process observability stack end to end:
+
+* :mod:`repro.obs.dtrace` -- context wire forms (v1 JSON field, v2
+  binary trailer), deterministic head sampling, thread-local handoff;
+* :mod:`repro.obs.clock` -- the monotonic anchor: span durations stay
+  non-negative under a wall-clock step (the S2 regression);
+* tail-based retention in :class:`repro.obs.trace.Tracer` -- unsampled
+  skeletons discard, errored and slow ones keep;
+* v1 propagation through the threaded :class:`MapServer` and the
+  stitched cross-shard tree through :class:`ShardRouter`, including the
+  per-shard counter-parity oracle (span cost attribution equals engine
+  counters to the unit);
+* :mod:`repro.obs.profile` -- op attribution, collapsed stacks, merge.
+"""
+
+import threading
+import time
+from unittest import mock
+
+import pytest
+
+from repro.data import generate_county
+from repro.metric_names import COUNTER_FIELDS
+from repro.obs import dtrace
+from repro.obs.clock import now_us, wall_now_us
+from repro.obs.profile import (
+    PROFILER,
+    collapsed_text,
+    merge_profiles,
+)
+from repro.obs.trace import TRACER, format_trace_tree
+from repro.service import MapServer, QueryEngine, send_request
+from repro.service.api import parse_request
+from repro.shard import LocalShardSet, ShardRouter, init_shard_set
+
+from tests.conftest import build_index, lattice_map
+
+
+@pytest.fixture()
+def tracer():
+    """The process-wide tracer, cleared on entry and disarmed on exit."""
+    TRACER.clear()
+    yield TRACER
+    TRACER.disarm()
+    TRACER.clear()
+
+
+def _engine():
+    return QueryEngine(build_index("R*", lattice_map(n=8)))
+
+
+def _window(engine, **kw):
+    req = {"op": "window", "x1": 0, "y1": 0, "x2": 400, "y2": 400}
+    req.update(kw)
+    return engine.execute(parse_request(req))
+
+
+# ----------------------------------------------------------------------
+# Context wire forms
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_ids_have_wire_width(self):
+        ctx = dtrace.TraceContext.new_root(1.0)
+        assert len(ctx.trace_id) == dtrace.TRACE_ID_HEX
+        assert len(ctx.span_id) == dtrace.SPAN_ID_HEX
+        int(ctx.trace_id, 16), int(ctx.span_id, 16)
+
+    def test_v1_json_roundtrip(self):
+        ctx = dtrace.TraceContext.new_root(1.0)
+        back = dtrace.TraceContext.from_wire(ctx.to_wire())
+        assert (back.trace_id, back.span_id, back.sampled) == (
+            ctx.trace_id,
+            ctx.span_id,
+            ctx.sampled,
+        )
+
+    def test_v2_trailer_roundtrip(self):
+        ctx = dtrace.TraceContext(dtrace.new_trace_id(), dtrace.new_span_id(), True)
+        blob = ctx.to_trailer()
+        assert len(blob) == dtrace.TRAILER_BYTES
+        back = dtrace.TraceContext.from_trailer(blob)
+        assert (back.trace_id, back.span_id, back.sampled) == (
+            ctx.trace_id,
+            ctx.span_id,
+            True,
+        )
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            None,
+            "nope",
+            {},
+            {"t": "short", "s": "also"},
+            {"t": "f" * 32, "s": "g" * 16},  # non-hex
+            {"t": "a" * 32, "s": "b" * 16, "f": "x"},  # bad flags type
+            {"t": "a" * 31, "s": "b" * 16},  # bad length
+        ],
+    )
+    def test_malformed_contexts_degrade_to_none(self, raw):
+        assert dtrace.TraceContext.from_wire(raw) is None
+
+    def test_short_trailer_degrades_to_none(self):
+        assert dtrace.TraceContext.from_trailer(b"short") is None
+
+    def test_child_keeps_trace_id_and_flag(self):
+        ctx = dtrace.TraceContext("a" * 32, "b" * 16, True)
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert child.sampled is True
+
+    def test_head_sampling_is_deterministic_and_bounded(self):
+        assert dtrace.head_sampled("f" * 32, 1.0) is True
+        assert dtrace.head_sampled("0" * 32, 0.0) is False
+        ids = [dtrace.new_trace_id() for _ in range(200)]
+        half = [dtrace.head_sampled(t, 0.5) for t in ids]
+        # Deterministic: the same id always decides the same way.
+        assert half == [dtrace.head_sampled(t, 0.5) for t in ids]
+        # Both verdicts occur at rate 0.5 over 200 draws.
+        assert any(half) and not all(half)
+
+
+# ----------------------------------------------------------------------
+# Clock anchoring (S2)
+# ----------------------------------------------------------------------
+class TestClockAnchor:
+    def test_now_us_is_monotonic(self):
+        a = now_us()
+        b = now_us()
+        assert b >= a >= 0
+
+    def test_wall_clock_step_cannot_produce_negative_durations(self, tracer):
+        """The S2 regression: span timing must survive a wall step.
+
+        Every timestamp derives from the monotonic anchor; a backwards
+        ``time.time()`` jump mid-span must not reorder anything.
+        """
+        tracer.arm(1.0)
+        engine = _engine()
+        real_time = time.time
+        with mock.patch("time.time", side_effect=lambda: real_time() - 3600.0):
+            # wall_now_us ignores the patched wall clock entirely ...
+            w1 = wall_now_us()
+            w2 = wall_now_us()
+            assert w2 >= w1
+            _window(engine)
+        traces = tracer.recent()
+        assert traces
+
+        def assert_nonnegative(rec):
+            assert rec.get("dur_us", 0) >= 0, rec
+            assert rec.get("start_us", 0) >= 0, rec
+            for child in rec.get("spans", ()):
+                assert_nonnegative(child)
+
+        assert_nonnegative(traces[-1])
+
+    def test_slow_log_uses_anchored_wall_clock(self):
+        from repro.obs.metrics import SlowQueryLog
+
+        log = SlowQueryLog(threshold_ms=0.0)
+        real_time = time.time
+        with mock.patch("time.time", side_effect=lambda: real_time() - 3600.0):
+            assert log.record("window", 0.001, {})
+        entry = log.stats()["entries"][0]
+        # Anchored: within a minute of true wall time, not an hour off.
+        assert abs(entry["unix_time"] - real_time()) < 60.0
+
+
+# ----------------------------------------------------------------------
+# Tail-based retention
+# ----------------------------------------------------------------------
+class TestTailSampling:
+    def test_legacy_mode_is_unchanged(self, tracer):
+        tracer.enable()
+        engine = _engine()
+        _window(engine)
+        root = tracer.recent()[-1]
+        assert root["name"] == "window"
+        assert "trace_id" not in root and "sampled" not in root
+
+    def test_sampled_root_carries_ids_and_detail(self, tracer):
+        tracer.arm(1.0)
+        engine = _engine()
+        _window(engine)
+        root = tracer.recent()[-1]
+        assert len(root["trace_id"]) == dtrace.TRACE_ID_HEX
+        assert len(root["span_id"]) == dtrace.SPAN_ID_HEX
+        assert root["sampled"] is True
+        assert root["spans"], "sampled trace must record child spans"
+
+    def test_unsampled_skeleton_is_tail_discarded(self, tracer):
+        tracer.arm(0.0)
+        engine = _engine()
+        before = tracer.stats()
+        _window(engine)
+        after = tracer.stats()
+        assert after["finished"] == before["finished"] + 1
+        assert after["tail_discarded"] == before["tail_discarded"] + 1
+        assert after["buffered"] == before["buffered"]
+
+    def test_unsampled_error_is_retained(self, tracer):
+        tracer.arm(0.0)
+        engine = _engine()
+        before = tracer.stats()["buffered"]
+        with pytest.raises(KeyError):
+            engine.execute(parse_request({"op": "delete", "seg_id": 999999}))
+        kept = tracer.recent()[-1]
+        assert tracer.stats()["buffered"] == before + 1
+        assert kept["sampled"] is False and "error" in kept
+        # Unsampled error keeps the *skeleton*: no child detail.
+        assert kept["spans"] == []
+
+    def test_unsampled_slow_request_is_retained(self, tracer):
+        tracer.arm(0.0, slow_ms=0.0)  # everything is "slow"
+        engine = _engine()
+        before = tracer.stats()["buffered"]
+        _window(engine)
+        kept = tracer.recent()[-1]
+        assert tracer.stats()["buffered"] == before + 1
+        assert kept["retained"] == "slow"
+
+    def test_tail_discards_surface_in_prom_export(self, tracer):
+        tracer.arm(0.0)
+        engine = _engine()
+        _window(engine)
+        engine.sync_mirrored_counters()
+        text = engine.registry.render_prom()
+        assert "repro_trace_tail_discarded_total" in text
+        assert "repro_trace_buffered" in text
+
+
+# ----------------------------------------------------------------------
+# v1 propagation through the threaded server
+# ----------------------------------------------------------------------
+class TestServerPropagation:
+    @pytest.fixture()
+    def server(self, tracer):
+        tracer.arm(1.0)
+        srv = MapServer(_engine())
+        srv.start_background()
+        yield srv
+        srv.stop()
+
+    def test_response_carries_fresh_trace_identity(self, server):
+        resp = send_request(
+            server.address, {"op": "window", "x1": 0, "y1": 0, "x2": 400, "y2": 400}
+        )
+        assert resp["ok"]
+        tc = resp["tc"]
+        assert len(tc["t"]) == dtrace.TRACE_ID_HEX
+        assert tc["f"] & dtrace.FLAG_SAMPLED
+
+    def test_incoming_context_parents_the_server_root(self, server):
+        ctx = dtrace.TraceContext(dtrace.new_trace_id(), dtrace.new_span_id(), True)
+        resp = send_request(
+            server.address,
+            {"op": "point", "x": 100, "y": 100, "tc": ctx.to_wire()},
+        )
+        assert resp["ok"]
+        tc = resp["tc"]
+        assert tc["t"] == ctx.trace_id
+        # A remote sampled request ships its local subtree back.
+        subtree = tc["span"]
+        assert subtree["parent_id"] == ctx.span_id
+        assert subtree["name"] == "point"
+
+    def test_unsampled_context_suppresses_detail(self, server):
+        ctx = dtrace.TraceContext(dtrace.new_trace_id(), dtrace.new_span_id(), False)
+        resp = send_request(
+            server.address,
+            {"op": "point", "x": 100, "y": 100, "tc": ctx.to_wire()},
+        )
+        assert resp["ok"]
+        tc = resp["tc"]
+        assert tc["t"] == ctx.trace_id
+        assert tc["f"] == 0
+        assert "span" not in tc
+
+    def test_malformed_context_degrades_to_untraced_identity(self, server):
+        resp = send_request(
+            server.address,
+            {"op": "point", "x": 100, "y": 100, "tc": {"t": "bogus"}},
+        )
+        assert resp["ok"]  # the request itself must not fail
+        # A fresh root was minted instead of inheriting the bad context.
+        assert resp["tc"]["t"] != "bogus"
+
+    def test_clock_op_reports_anchored_wall(self, server):
+        resp = send_request(server.address, {"op": "clock"})
+        assert resp["ok"]
+        info = resp["result"]
+        assert abs(info["wall_us"] / 1e6 - time.time()) < 60.0
+        assert info["mono_us"] >= 0
+
+
+# ----------------------------------------------------------------------
+# Stitched cross-shard trees and the counter-parity oracle
+# ----------------------------------------------------------------------
+N_SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def shard_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("dtrace-shards")
+    map_data = generate_county("cecil", scale=0.01)
+    init_shard_set(
+        root, "R*", map_data=map_data, n_shards=N_SHARDS, page_size=2048
+    )
+    return root
+
+
+class TestStitchedTraces:
+    @pytest.fixture()
+    def routed(self, shard_root, tracer):
+        tracer.arm(1.0)
+        with LocalShardSet(shard_root) as shards:
+            router = ShardRouter(shard_root)
+            router.start_background()
+            try:
+                yield router, shards
+            finally:
+                router.close()
+
+    @staticmethod
+    def _spans_named(rec, prefix):
+        found = []
+
+        def walk(r):
+            if str(r.get("name", "")).startswith(prefix):
+                found.append(r)
+            for child in r.get("spans", ()):
+                walk(child)
+
+        walk(rec)
+        return found
+
+    def test_routed_query_returns_one_stitched_tree(self, routed):
+        router, _shards = routed
+        resp = send_request(
+            router.address,
+            {"op": "window", "x1": 0, "y1": 0, "x2": 10**6, "y2": 10**6},
+        )
+        assert resp["ok"]
+        trace_id = resp["tc"]["t"]
+
+        fetched = send_request(
+            router.address, {"op": "trace", "trace_id": trace_id}
+        )
+        assert fetched["ok"]
+        tree = fetched["result"]["trace"]
+        assert tree is not None and tree["trace_id"] == trace_id
+        assert tree["name"] == "window"
+        # Router phases present ...
+        assert self._spans_named(tree, "scatter")
+        assert self._spans_named(tree, "merge")
+        # ... and one wrapper per shard, each with the worker's subtree.
+        wrappers = self._spans_named(tree, "shard:")
+        assert len(wrappers) >= 2, "cross-shard query must span >= 2 workers"
+        for wrapper in wrappers:
+            assert wrapper["spans"], f"missing worker subtree in {wrapper['name']}"
+            worker_root = wrapper["spans"][0]
+            assert worker_root["trace_id"] == trace_id
+            assert worker_root["name"] == "window"
+        # The whole thing renders.
+        rendered = format_trace_tree(tree)
+        assert "scatter" in rendered and "shard:" in rendered
+
+    def test_span_counters_match_engine_counters_to_the_unit(self, routed):
+        """The acceptance oracle: per-shard span cost attribution equals
+        the engine's own counters exactly."""
+        router, shards = routed
+
+        def shard_totals():
+            stats = send_request(router.address, {"op": "stats"})["result"]
+            return {
+                sid: dict(entry["totals"])
+                for sid, entry in stats["shards"].items()
+            }
+
+        before = shard_totals()
+        resp = send_request(
+            router.address,
+            {
+                "op": "window",
+                "x1": 0,
+                "y1": 0,
+                "x2": 10**6,
+                "y2": 10**6,
+                "use_cache": False,
+            },
+        )
+        assert resp["ok"]
+        after = shard_totals()
+        tree = send_request(
+            router.address, {"op": "trace", "trace_id": resp["tc"]["t"]}
+        )["result"]["trace"]
+        wrappers = self._spans_named(tree, "shard:")
+        assert wrappers
+        for wrapper in wrappers:
+            sid = wrapper["attrs"]["shard"]
+            traverse = self._spans_named(wrapper, "traverse")
+            assert traverse, f"no traverse span under {wrapper['name']}"
+            attributed = traverse[0]["attrs"]["counters"]
+            # The attribution covers every raw counter (plus reporting
+            # aliases like disk_accesses); each must equal the engine's
+            # own delta exactly.
+            assert set(COUNTER_FIELDS) <= set(attributed)
+            deltas = {
+                name: after[sid][name] - before[sid][name]
+                for name in attributed
+            }
+            assert attributed == deltas, f"span/counter mismatch on {sid}"
+
+    def test_shard_wrapper_timestamps_are_skew_shifted(self, routed):
+        router, _shards = routed
+        resp = send_request(
+            router.address,
+            {"op": "window", "x1": 0, "y1": 0, "x2": 10**6, "y2": 10**6},
+        )
+        tree = send_request(
+            router.address, {"op": "trace", "trace_id": resp["tc"]["t"]}
+        )["result"]["trace"]
+        for wrapper in self._spans_named(tree, "shard:"):
+            assert wrapper["start_us"] >= 0
+            for sub in wrapper["spans"]:
+                # The worker subtree lands inside the router's timeline,
+                # not at a raw worker-relative (or wall-clock) offset.
+                assert -1e6 < sub["start_us"] < tree["dur_us"] + 1e6
+
+    def test_stats_entries_name_their_shard(self, shard_root, tracer):
+        tracer.arm(1.0, slow_ms=0.0)
+        with LocalShardSet(shard_root, slow_ms=0.0):
+            router = ShardRouter(shard_root)
+            router.start_background()
+            try:
+                send_request(
+                    router.address,
+                    {"op": "window", "x1": 0, "y1": 0, "x2": 10**6, "y2": 10**6},
+                )
+                stats = send_request(router.address, {"op": "stats"})["result"]
+            finally:
+                router.close()
+        labelled = [
+            entry
+            for shard_stats in stats["shards"].values()
+            for entry in shard_stats["obs"]["slow_queries"]["entries"]
+        ]
+        assert labelled, "slow log should have recorded at threshold 0"
+        assert all("shard" in entry for entry in labelled)
+        assert {e["shard"] for e in labelled} <= set(stats["shards"])
+
+
+# ----------------------------------------------------------------------
+# Sampling profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_run_collects_stacks(self):
+        stop = threading.Event()
+
+        def busy():
+            while not stop.is_set():
+                sum(range(500))
+
+        worker = threading.Thread(target=busy, name="busy-worker", daemon=True)
+        worker.start()
+        try:
+            profile = PROFILER.run(seconds=0.2, hz=200)
+        finally:
+            stop.set()
+            worker.join()
+        assert profile["samples"] > 0
+        assert profile["stacks"]
+        assert any("busy" in key for key in profile["stacks"])
+        assert not PROFILER.enabled
+
+    def test_op_attribution_prefixes_stacks(self):
+        stop = threading.Event()
+
+        def tagged():
+            # Re-tag every iteration, the way the engine tags each
+            # request: run() wipes the map on entry, so only tags set
+            # while the sampler is live land in the profile.
+            while not stop.is_set():
+                PROFILER.set_op("window")
+                try:
+                    sum(range(500))
+                finally:
+                    PROFILER.clear_op()
+
+        worker = threading.Thread(target=tagged, daemon=True)
+        worker.start()
+        try:
+            profile = PROFILER.run(seconds=0.3, hz=200)
+        finally:
+            stop.set()
+            worker.join()
+        assert profile["samples"] > 0
+        assert any(key.startswith("op:window;") for key in profile["stacks"])
+
+    def test_engine_sets_op_for_profiler(self, tracer):
+        engine = _engine()
+        captured = []
+        PROFILER.enabled = True  # pretend a run is active
+        try:
+            original = PROFILER.set_op
+
+            def spy(op):
+                captured.append(op)
+                original(op)
+
+            with mock.patch.object(PROFILER, "set_op", side_effect=spy):
+                _window(engine)
+        finally:
+            PROFILER.enabled = False
+            PROFILER.clear_op()
+        assert "window" in captured
+
+    def test_clamps_protect_the_server(self):
+        profile = PROFILER.run(seconds=0.05, hz=10**9)
+        assert profile["hz"] <= 997
+
+    def test_merge_reroots_under_labels(self):
+        parts = {
+            "router": {
+                "seconds": 0.2,
+                "hz": 97,
+                "samples": 3,
+                "stacks": {"a;b": 3},
+            },
+            "shard:s0": {
+                "seconds": 0.2,
+                "hz": 97,
+                "samples": 2,
+                "stacks": {"a;b": 1, "c": 1},
+            },
+        }
+        merged = merge_profiles(parts)
+        assert merged["samples"] == 5
+        assert merged["stacks"]["router;a;b"] == 3
+        assert merged["stacks"]["shard:s0;c"] == 1
+        assert merged["parts"] == ["router", "shard:s0"]
+        text = collapsed_text(merged)
+        assert text.splitlines()[0] == "router;a;b 3"
+
+
+# ----------------------------------------------------------------------
+# Thread-local handoff hygiene
+# ----------------------------------------------------------------------
+class TestHandoff:
+    def test_set_incoming_clears_stale_outbound(self):
+        dtrace.set_outbound({"t": "stale"})
+        dtrace.set_incoming(None)
+        assert dtrace.take_outbound() is None
+
+    def test_take_is_destructive(self):
+        ctx = dtrace.TraceContext.new_root(1.0)
+        dtrace.set_incoming(ctx)
+        assert dtrace.take_incoming() is ctx
+        assert dtrace.take_incoming() is None

@@ -20,6 +20,8 @@ import socket
 import pytest
 
 from repro.aio import AsyncMapClient, AsyncMapServer
+from repro.obs import dtrace
+from repro.obs.trace import TRACER
 from repro.service import MapServer, QueryEngine, send_request
 
 from tests.conftest import build_index, lattice_map
@@ -205,3 +207,109 @@ class TestEquivalence:
             if not envelope["ok"]
         }
         assert {"unknown_op", "bad_args", "unknown_seg", "not_durable"} <= codes
+
+
+# ----------------------------------------------------------------------
+# Trace-context propagation under v2 pipelining (satellite S3)
+# ----------------------------------------------------------------------
+#: Interleaved per-request ops: deterministic reads, so the envelopes
+#: (minus trace identity) must match the threaded oracle exactly.
+_TRACED_OPS = [
+    {"op": "point", "x": 100, "y": 100},
+    {"op": "window", "x1": 0, "y1": 0, "x2": 400, "y2": 400},
+    {"op": "nearest", "x": 300, "y": 300, "k": 3},
+    {"op": "point", "x": 200, "y": 200},
+    {"op": "window", "x1": 50, "y1": 50, "x2": 350, "y2": 350},
+    {"op": "nearest", "x": 60, "y": 60, "k": 1},
+    {"op": "point", "x": 300, "y": 100},
+    {"op": "window", "x1": 100, "y1": 100, "x2": 300, "y2": 300},
+]
+
+
+def _strip_tc(envelope):
+    return {k: v for k, v in envelope.items() if k != "tc"}
+
+
+class TestTracePipelining:
+    """N interleaved sampled+unsampled requests on ONE v2 connection must
+    produce N disjoint, correctly parented trees -- the thread-local
+    handoff must never bleed context between pipelined requests that
+    share executor threads."""
+
+    @pytest.fixture()
+    def traced(self):
+        TRACER.clear()
+        TRACER.arm(1.0)
+        yield
+        TRACER.disarm()
+        TRACER.clear()
+
+    def test_pipelined_contexts_stay_disjoint(self, traced, oracle, async_server):
+        # Even-indexed requests sampled, odd unsampled; every request
+        # carries its own freshly minted context.
+        contexts = [
+            dtrace.TraceContext(
+                dtrace.new_trace_id(), dtrace.new_span_id(), i % 2 == 0
+            )
+            for i in range(len(_TRACED_OPS))
+        ]
+        discarded_before = TRACER.stats()["tail_discarded"]
+
+        async def main():
+            client = await AsyncMapClient.connect(async_server.address)
+            try:
+                assert client.features.get("tc"), (
+                    "server must advertise trace-trailer support on the "
+                    "upgrade ack"
+                )
+                # One pipelined burst: all requests in flight at once on
+                # one socket, resolved in whatever order the two executor
+                # threads finish them.
+                return await asyncio.gather(
+                    *(
+                        client.request(op, tc=ctx)
+                        for op, ctx in zip(_TRACED_OPS, contexts)
+                    )
+                )
+            finally:
+                await client.close()
+
+        envelopes = asyncio.run(main())
+
+        # --- each response carries exactly its own trace identity ------
+        for i, (ctx, envelope) in enumerate(zip(contexts, envelopes)):
+            assert envelope["ok"], envelope
+            tc = envelope["tc"]
+            assert tc["t"] == ctx.trace_id, f"request {i} got a foreign trace"
+            if ctx.sampled:
+                subtree = tc["span"]
+                assert subtree["trace_id"] == ctx.trace_id
+                assert subtree["parent_id"] == ctx.span_id
+                assert subtree["name"] == _TRACED_OPS[i]["op"]
+            else:
+                assert tc["f"] == 0
+                assert "span" not in tc
+
+        # --- the trees are disjoint: N distinct ids, no sharing --------
+        assert len({ctx.trace_id for ctx in contexts}) == len(contexts)
+        sampled = [ctx for ctx in contexts if ctx.sampled]
+        for ctx in sampled:
+            record = TRACER.find(ctx.trace_id)
+            assert record is not None, f"sampled trace {ctx.trace_id} not retained"
+            assert record["parent_id"] == ctx.span_id
+
+        # --- unsampled skeletons were tail-discarded, not retained -----
+        unsampled = [ctx for ctx in contexts if not ctx.sampled]
+        for ctx in unsampled:
+            assert TRACER.find(ctx.trace_id) is None
+        assert (
+            TRACER.stats()["tail_discarded"] - discarded_before
+            >= len(unsampled)
+        )
+
+        # --- and the payloads match the threaded oracle ----------------
+        for op, envelope in zip(_TRACED_OPS, envelopes):
+            want = send_request(oracle.address, dict(op))
+            assert _strip_timings(_strip_tc(want)) == _strip_timings(
+                _strip_tc(envelope)
+            ), f"traced v2 diverged from oracle on {op}"
